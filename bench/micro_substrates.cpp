@@ -1,0 +1,104 @@
+// google-benchmark micro-benchmarks of the substrates: logic simulation,
+// fault simulation, ALFSR/MISR stepping, and the protocol stack.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bist/engine.hpp"
+#include "bist/lfsr.hpp"
+#include "bist/misr.hpp"
+#include "fault/fault.hpp"
+#include "fault/seq_fsim.hpp"
+#include "jtag/driver.hpp"
+#include "ldpc/gatelevel.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace {
+
+using namespace corebist;
+
+void BM_CombEvalBitNode(benchmark::State& state) {
+  const Netlist nl = ldpc::buildBitNode();
+  SeqSim sim(nl);
+  sim.reset();
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    for (const NetId pi : nl.primaryInputs()) {
+      sim.comb().set(pi, c * 0x9E3779B97F4A7C15ull);
+    }
+    sim.step();
+    ++c;
+    benchmark::DoNotOptimize(sim.comb().values().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.numGates()));
+}
+BENCHMARK(BM_CombEvalBitNode);
+
+void BM_CombEvalCheckNode(benchmark::State& state) {
+  const Netlist nl = ldpc::buildCheckNode();
+  SeqSim sim(nl);
+  sim.reset();
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    for (const NetId pi : nl.primaryInputs()) {
+      sim.comb().set(pi, c * 0x9E3779B97F4A7C15ull);
+    }
+    sim.step();
+    ++c;
+    benchmark::DoNotOptimize(sim.comb().values().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.numGates()));
+}
+BENCHMARK(BM_CombEvalCheckNode);
+
+void BM_SeqFaultSimControlUnit(benchmark::State& state) {
+  const Netlist nl = ldpc::buildControlUnit();
+  const FaultUniverse u = enumerateStuckAt(nl);
+  BistEngine engine;
+  const int m = engine.attachModule(nl);
+  const auto stim = engine.stimulus(m, 512);
+  SeqFaultSim fsim(nl);
+  SeqFsimOptions o;
+  o.cycles = 512;
+  o.num_threads = 1;
+  for (auto _ : state) {
+    const auto r = fsim.run(u.faults, stim, o);
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(u.faults.size()));
+}
+BENCHMARK(BM_SeqFaultSimControlUnit);
+
+void BM_AlfsrStep(benchmark::State& state) {
+  Alfsr lfsr(20, 0xACE1);
+  for (auto _ : state) benchmark::DoNotOptimize(lfsr.step());
+}
+BENCHMARK(BM_AlfsrStep);
+
+void BM_MisrStepWide(benchmark::State& state) {
+  Misr misr(16);
+  std::uint64_t v = 0x123456789ABCDEFull;
+  for (auto _ : state) {
+    misr.stepWide(v, 55);
+    v = v * 6364136223846793005ull + 1;
+    benchmark::DoNotOptimize(misr.state());
+  }
+}
+BENCHMARK(BM_MisrStepWide);
+
+void BM_TapShiftDr(benchmark::State& state) {
+  TapController tap(4);
+  TapDriver driver(tap);
+  driver.reset();
+  driver.shiftIr(0xF, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.shiftDr(0xA5A5, 16));
+  }
+}
+BENCHMARK(BM_TapShiftDr);
+
+}  // namespace
+// main() is provided by benchmark::benchmark_main.

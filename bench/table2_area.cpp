@@ -1,0 +1,61 @@
+// Table 2: area overhead of the DfT logic (BIST engine + P1500 wrapper)
+// relative to the serial LDPC core, in the calibrated 0.13 um library.
+#include <cstdio>
+
+#include "bist/engine_hw.hpp"
+#include "case_study.hpp"
+#include "p1500/wrapper_hw.hpp"
+#include "synth/area.hpp"
+
+using namespace corebist;
+using namespace corebist::bench;
+
+int main() {
+  printHeader("Table 2: Area overhead evaluation [um^2, 0.13um-class library]");
+  const CaseStudy cs;
+  const TechLib lib = TechLib::generic130nm();
+
+  const double a_bn = reportArea(cs.bn, lib).total_um2;
+  const double a_cn = reportArea(cs.cn, lib).total_um2;
+  const double a_cu = reportArea(cs.cu, lib).total_um2;
+  const double a_core = a_bn + a_cn + a_cu;
+
+  const Netlist engine_hw = buildBistEngineHw(cs.engine);
+  const double a_bist = reportArea(engine_hw, lib).total_um2;
+
+  // The wrapper wraps the core's external interface (the decoder's
+  // functional I/O, modelled as 24 in + 25 out) plus WIR/WBY/WCDR/WDR.
+  const Netlist wrapper_hw = buildWrapperHw(24, 25);
+  const double a_wrap = reportArea(wrapper_hw, lib).total_um2;
+
+  struct Row {
+    const char* name;
+    double area;
+    double overhead;  // percent of core
+    double paper_area;
+    double paper_ovh;
+  };
+  const Row rows[] = {
+      {"Serial LDPC", a_core, 0.0, 165817.88, 0.0},
+      {"BIST engine", a_bist, 100.0 * a_bist / a_core, 22481.63, 13.5},
+      {"P1500 Wrapper", a_wrap, 100.0 * a_wrap / a_core, 4566.94, 2.8},
+      {"TOTAL", a_core + a_bist + a_wrap,
+       100.0 * (a_bist + a_wrap) / a_core, 192866.51, 16.4},
+  };
+  std::printf("%-14s %14s %10s %14s %10s\n", "Component", "Area [um^2]",
+              "Ovh [%]", "paper area", "paper ovh");
+  for (const Row& r : rows) {
+    std::printf("%-14s %14.2f %10.2f %14.2f %10.1f\n", r.name, r.area,
+                r.overhead, r.paper_area, r.paper_ovh);
+  }
+
+  std::printf("\nPer-module core area: BIT_NODE %.0f, CHECK_NODE %.0f, "
+              "CONTROL_UNIT %.0f um^2\n", a_bn, a_cn, a_cu);
+  std::printf("Engine hardware: %zu gates, %zu flops; wrapper: %zu gates, "
+              "%zu flops\n", engine_hw.numGates(), engine_hw.dffs().size(),
+              wrapper_hw.numGates(), wrapper_hw.dffs().size());
+  std::printf("TAM share of DfT logic (paper: wrapper is a fixed 16%% of the "
+              "core-level test logic): %.1f %%\n",
+              100.0 * a_wrap / (a_bist + a_wrap));
+  return 0;
+}

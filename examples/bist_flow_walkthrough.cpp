@@ -1,0 +1,70 @@
+// The paper's three-step evaluation flow (§3.2) on one module, narrated:
+//   step 1 - statement coverage + toggle activity on the "RTL" (Fig. 3);
+//   step 2 - fault coverage on the synthesized module (Fig. 4);
+//   step 3 - diagnosability via the equivalent-fault-class matrix.
+#include <cstdio>
+
+#include "bist/engine.hpp"
+#include "diag/diagnosis.hpp"
+#include "eval/flow.hpp"
+#include "fault/fault.hpp"
+#include "fault/seq_fsim.hpp"
+#include "ldpc/arch/adapters.hpp"
+#include "ldpc/gatelevel.hpp"
+
+using namespace corebist;
+
+int main() {
+  std::printf("BIST evaluation flow walk-through: CONTROL_UNIT\n");
+  std::printf("===============================================\n");
+
+  const Netlist cu = ldpc::buildControlUnit();
+  BistEngine engine;
+  const int m = engine.attachModule(cu);
+  const int budget = 2048;
+  const auto stim = engine.stimulus(m, budget);
+
+  // ---- Step 1 (Fig. 3) ----
+  std::printf("\n[step 1] pseudo-random patterns on the RTL model:\n");
+  auto adapter = ldpc::makeControlUnitAdapter();
+  const int cps[] = {16, 64, 256, 1024, 2048};
+  const Step1Result s1 = runStep1Loop(*adapter, cu, stim, cps);
+  for (const auto& pt : s1.points) {
+    std::printf("  %5d patterns: statements %5.1f%%, toggles %5.1f%%\n",
+                pt.patterns, 100.0 * pt.statement_coverage,
+                100.0 * pt.toggle_activity);
+  }
+
+  // ---- Step 2 (Fig. 4) ----
+  std::printf("\n[step 2] fault simulation of the synthesized module:\n");
+  const FaultUniverse u = enumerateStuckAt(cu);
+  const Step2Result s2 = runStep2Loop(cu, u.faults, stim, cps, 95.0);
+  for (const auto& pt : s2.points) {
+    std::printf("  %5d patterns: FC %6.2f%%\n", pt.patterns,
+                pt.fault_coverage);
+  }
+  if (s2.patterns_at_target > 0) {
+    std::printf("  target 95%% reached at %d patterns\n",
+                s2.patterns_at_target);
+  }
+
+  // ---- Step 3 ----
+  std::printf("\n[step 3] diagnostic matrix (64 MISR read-out windows):\n");
+  SeqFaultSim fsim(cu);
+  SeqFsimOptions o;
+  o.cycles = budget;
+  o.windows = 64;
+  const auto r = fsim.run(u.faults, stim, o);
+  const auto classes = analyzeSyndromes(syndromesFromWindows(r.window_mask));
+  std::printf("  %zu detected faults fall into %zu classes: max size %zu, "
+              "mean %.2f\n", classes.analyzed, classes.num_classes,
+              classes.max_size, classes.mean_size);
+  std::printf("  histogram:");
+  for (std::size_t k = 0; k < classes.histogram.size() && k < 6; ++k) {
+    std::printf(" size-%zu x%zu", k + 1, classes.histogram[k]);
+  }
+  std::printf("\n\nflow verdict: %s\n",
+              s2.final_coverage > 90.0 ? "core is BIST-ready"
+                                       : "needs CG/ALFSR refinement");
+  return 0;
+}

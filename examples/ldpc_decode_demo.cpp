@@ -1,0 +1,69 @@
+// The case-study core doing its day job: LDPC decoding.
+//
+// Builds a reconfigurable code, encodes random payloads, pushes them through
+// a noisy channel and decodes with (a) the floating-point min-sum reference
+// and (b) the SerialDecoder assembled from the same behavioural BIT_NODE /
+// CHECK_NODE modules that the BIST architecture tests.
+#include <cstdio>
+#include <random>
+
+#include "ldpc/arch/decoder.hpp"
+#include "ldpc/code.hpp"
+#include "ldpc/msgpass.hpp"
+
+using namespace corebist::ldpc;
+
+int main() {
+  std::printf("Reconfigurable serial LDPC decoder demo\n");
+  std::printf("=======================================\n\n");
+
+  CodeParams p;
+  p.bit_nodes = 256;
+  p.check_nodes = 128;
+  p.dv = 3;
+  p.seed = 42;
+  const LdpcCode code(p);
+  std::printf("code: n=%d, k=%d, m=%d, %d edges, max row degree %d\n\n",
+              code.n(), code.k(), code.m(), code.edgeCount(),
+              code.maxRowDegree());
+
+  std::mt19937_64 rng(2026);
+  std::normal_distribution<double> noise(0.0, 1.0);
+
+  SerialDecoder serial(code, 25);
+  for (const double snr_db : {2.0, 3.0, 4.0, 5.0}) {
+    const double sigma = std::pow(10.0, -snr_db / 20.0);
+    const int frames = 30;
+    int float_ok = 0;
+    int serial_ok = 0;
+    std::size_t cycles = 0;
+    for (int f = 0; f < frames; ++f) {
+      std::vector<std::uint8_t> info(static_cast<std::size_t>(code.k()));
+      for (auto& bit : info) bit = static_cast<std::uint8_t>(rng() & 1u);
+      const auto word = code.encode(info);
+      // BPSK over AWGN: LLR = 2r/sigma^2.
+      std::vector<double> llr(word.size());
+      std::vector<int> llr8(word.size());
+      for (std::size_t i = 0; i < word.size(); ++i) {
+        const double tx = word[i] != 0 ? -1.0 : 1.0;
+        const double rx = tx + sigma * noise(rng);
+        llr[i] = 2.0 * rx / (sigma * sigma);
+        llr8[i] = quantizeLlr(llr[i] / 4.0);
+      }
+      const auto fres = decodeMinSum(code, llr);
+      if (fres.converged && fres.word == word) ++float_ok;
+      const auto sres = serial.decode(llr8);
+      if (sres.converged && sres.word == word) ++serial_ok;
+      cycles += serial.cyclesSimulated();
+    }
+    std::printf("SNR %.1f dB: float min-sum %2d/%2d frames, serial "
+                "architecture %2d/%2d, avg %zu cycles/frame\n",
+                snr_db, float_ok, frames, serial_ok, frames,
+                cycles / static_cast<std::size_t>(frames));
+  }
+
+  std::printf("\nThe serial architecture model decodes with the same "
+              "fixed-point arithmetic\nthe gate-level modules implement — "
+              "the core that gets BIST-tested is the\ncore that decodes.\n");
+  return 0;
+}

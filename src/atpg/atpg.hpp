@@ -1,0 +1,87 @@
+// Test-generation drivers for the Table 3 baselines.
+//
+// Full scan: random-pattern bootstrap (PPSFP with fault dropping) followed
+// by PODEM on the survivors under a CPU budget; pattern counts convert to
+// tester clocks through the ScanView shift model. Transition faults use
+// launch-on-shift pairs (v2 is v1 shifted one position down each chain),
+// which is why full-scan TDF coverage trails its stuck-at coverage.
+//
+// Sequential: simulation-based search in the spirit of the authors' own
+// GATTO line — candidate weighted-random input sequences are fault-graded
+// with the sequential fault simulator and the best candidate is kept. No
+// scan, no constraint generator: functional inputs only, which is exactly
+// why its coverage trails the BIST engine (Table 3's story).
+#ifndef COREBIST_ATPG_ATPG_HPP_
+#define COREBIST_ATPG_ATPG_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/comb_fsim.hpp"
+#include "fault/fault.hpp"
+#include "fault/seq_fsim.hpp"
+#include "scan/scan.hpp"
+
+namespace corebist {
+
+struct FullScanAtpgOptions {
+  int max_random_blocks = 48;      // 64 patterns per block
+  int random_stall_blocks = 6;     // stop random phase after no-yield blocks
+  double podem_budget_seconds = 30.0;
+  int backtrack_limit = 24;
+  std::uint64_t seed = 0x5EED;
+};
+
+struct FullScanAtpgResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::size_t aborted = 0;  // PODEM gave up within budget
+  std::size_t patterns = 0;
+  std::size_t test_cycles = 0;
+  double cpu_seconds = 0.0;
+  [[nodiscard]] double coverage() const {
+    return total_faults == 0 ? 0.0
+                             : 100.0 * static_cast<double>(detected) /
+                                   static_cast<double>(total_faults);
+  }
+};
+
+/// Stuck-at full-scan ATPG on the scanned module's combinational view.
+[[nodiscard]] FullScanAtpgResult runFullScanAtpg(
+    const Netlist& scanned, const ScanView& view,
+    std::span<const Fault> faults, const FullScanAtpgOptions& opts = {});
+
+/// Transition-delay full-scan test generation (random LOS pairs).
+[[nodiscard]] FullScanAtpgResult runFullScanTransition(
+    const Netlist& scanned, const ScanView& view,
+    std::span<const Fault> tdf_faults, const FullScanAtpgOptions& opts = {});
+
+struct SeqAtpgOptions {
+  int sequence_cycles = 12288;
+  int candidates = 6;  // weighted-random profiles graded per module
+  std::uint64_t seed = 0xCAFE;
+  int num_threads = 2;
+};
+
+struct SeqAtpgResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::size_t effective_cycles = 0;  // prefix that yields all detections
+  double cpu_seconds = 0.0;
+  std::vector<std::uint64_t> best_sequence;
+  [[nodiscard]] double coverage() const {
+    return total_faults == 0 ? 0.0
+                             : 100.0 * static_cast<double>(detected) /
+                                   static_cast<double>(total_faults);
+  }
+};
+
+/// Simulation-based sequential test generation on the unscanned module.
+[[nodiscard]] SeqAtpgResult runSequentialAtpg(const Netlist& module,
+                                              std::span<const Fault> faults,
+                                              const SeqAtpgOptions& opts = {});
+
+}  // namespace corebist
+
+#endif  // COREBIST_ATPG_ATPG_HPP_

@@ -1,0 +1,61 @@
+#include "bist/control_unit.hpp"
+
+#include <stdexcept>
+
+namespace corebist {
+
+BistControlUnit::BistControlUnit(int counter_bits)
+    : counter_bits_(counter_bits) {
+  if (counter_bits < 1 || counter_bits > 16) {
+    throw std::invalid_argument("BistControlUnit: counter bits out of range");
+  }
+}
+
+void BistControlUnit::command(BistCommand cmd, std::uint16_t data) {
+  switch (cmd) {
+    case BistCommand::kNop:
+    case BistCommand::kReadStatus:
+      break;
+    case BistCommand::kReset:
+      counter_ = 0;
+      limit_ = 0;
+      select_ = 0;
+      running_ = false;
+      done_ = false;
+      break;
+    case BistCommand::kLoadCount:
+      limit_ = static_cast<std::uint16_t>(data & maxPatterns());
+      break;
+    case BistCommand::kStart:
+      counter_ = 0;
+      running_ = true;
+      done_ = false;
+      break;
+    case BistCommand::kStop:
+      running_ = false;
+      break;
+    case BistCommand::kSelectResult:
+      select_ = static_cast<std::uint8_t>(data & 0x3u);
+      break;
+  }
+}
+
+void BistControlUnit::tick() {
+  if (!running_) return;
+  ++counter_;
+  if (counter_ >= limit_) {
+    running_ = false;
+    done_ = true;
+  }
+}
+
+std::uint32_t BistControlUnit::statusWord() const noexcept {
+  std::uint32_t w = 0;
+  w |= running_ ? 1u : 0u;
+  w |= done_ ? 2u : 0u;
+  w |= static_cast<std::uint32_t>(select_ & 0x3u) << 2;
+  w |= static_cast<std::uint32_t>(counter_) << 4;
+  return w;
+}
+
+}  // namespace corebist

@@ -1,0 +1,192 @@
+#include "bist/engine_hw.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bist/constraint_gen.hpp"
+
+namespace corebist {
+
+namespace {
+
+/// Emit hardware for a constraint generator. Schedule CGs become a counter
+/// plus range-compare network; hold CGs become constants.
+Bus buildCgHw(Builder& b, const ConstraintGenerator& cg, NetId en,
+              NetId clear) {
+  if (const auto* sched = dynamic_cast<const ScheduleConstraint*>(&cg)) {
+    return buildScheduleCgHw(b, *sched, en, clear);
+  }
+  if (const auto* biased = dynamic_cast<const BiasedConstraint*>(&cg)) {
+    return buildBiasedCgHw(b, *biased, en, clear);
+  }
+  if (const auto* hold = dynamic_cast<const HoldConstraint*>(&cg)) {
+    return b.constant(hold->width(), hold->valueAt(0));
+  }
+  throw std::invalid_argument("buildCgHw: no hardware form for " +
+                              cg.describe());
+}
+
+}  // namespace
+
+Netlist buildBistEngineHw(const BistEngine& engine) {
+  const BistEngineConfig& cfg = engine.config();
+  Netlist nl("bist_engine");
+  Builder b(nl);
+
+  const Bus cmd = b.input("cmd", 3);
+  const Bus data = b.input("data", 16);
+
+  // Command decode.
+  const NetId cmd_reset = b.eqConst(cmd, 1);
+  const NetId cmd_load = b.eqConst(cmd, 2);
+  const NetId cmd_start = b.eqConst(cmd, 3);
+  const NetId cmd_stop = b.eqConst(cmd, 4);
+  const NetId cmd_select = b.eqConst(cmd, 5);
+
+  // Pattern limit register and counter (12 bits in the case study).
+  const Bus limit = b.state("limit", cfg.counter_bits);
+  b.connectEnClr(limit, Builder::slice(data, 0, cfg.counter_bits), cmd_load,
+                 cmd_reset);
+
+  // Run FSM: run + done flops.
+  const Bus run = b.state("run", 1);
+  const Bus done = b.state("done", 1);
+  const Bus counter = b.state("pattern_counter", cfg.counter_bits);
+  const NetId at_limit = b.eq(counter, limit);
+  const NetId running = run[0];
+  const NetId stop_now = b.or2(b.or2(cmd_stop, cmd_reset), at_limit);
+  b.connect(run, Bus{b.or2(cmd_start, b.and2(running, b.not1(stop_now)))});
+  b.connect(done,
+            Bus{b.and2(b.or2(b.and2(running, at_limit), done[0]),
+                       b.not1(b.or2(cmd_reset, cmd_start)))});
+  b.connectEnClr(counter, b.inc(counter), running,
+                 b.or2(cmd_reset, cmd_start));
+
+  // Result select register (2 bits per the case study).
+  const Bus select = b.state("result_select", 2);
+  b.connectEnClr(select, Builder::slice(data, 0, 2), cmd_select, cmd_reset);
+
+  // ALFSR + constraint generators.
+  const auto taps = cfg.lfsr_taps.empty() ? primitiveTaps(cfg.lfsr_width)
+                                          : cfg.lfsr_taps;
+  const AlfsrHw lfsr =
+      buildAlfsrHw(b, cfg.lfsr_width, taps, cfg.lfsr_seed, running, cmd_reset);
+
+  // Per-module MISR over the DUT response inputs, plus the output selector.
+  std::vector<Bus> signatures;
+  for (int m = 0; m < engine.moduleCount(); ++m) {
+    const int w = static_cast<int>(engine.module(m).primaryOutputs().size());
+    const Bus dut = b.input("dut_out_" + std::to_string(m), w);
+    const MisrHw misr = buildMisrHw(b, dut, cfg.misr_width, running, cmd_reset);
+    signatures.push_back(misr.state);
+  }
+  // Constraint-generator hardware (schedule CGs carry real state machines)
+  // plus the pattern-routing fabric: one test mux per DUT input pin, as the
+  // engine drives every module input during INTEST.
+  for (int m = 0; m < engine.moduleCount(); ++m) {
+    std::vector<Bus> cg_values;
+    for (int c = 0; c < engine.constraintCount(m); ++c) {
+      cg_values.push_back(
+          buildCgHw(b, engine.constraintGenerator(m, c), running, cmd_reset));
+    }
+    const Bus f_in = b.input("f_in_" + std::to_string(m),
+                             engine.module(m).portWidth(true));
+    Bus to_dut;
+    const auto& map = engine.inputMap(m);
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      const InputSource& src = map[i];
+      const NetId bist_bit =
+          src.kind == InputSourceKind::kAlfsr
+              ? lfsr.state[static_cast<std::size_t>(src.index)]
+              : cg_values[static_cast<std::size_t>(src.index)]
+                         [static_cast<std::size_t>(src.bit)];
+      to_dut.push_back(b.mux(f_in[i], bist_bit, running));
+    }
+    b.output("to_dut_" + std::to_string(m), to_dut);
+  }
+
+  // Output Selector: pad the signature list to a power of two.
+  std::vector<Bus> padded = signatures;
+  while (padded.size() < 4) padded.push_back(b.constant(cfg.misr_width, 0));
+  const Bus result = b.muxN(padded, select);
+
+  b.output("test_enable", Bus{running});
+  b.output("end_test", done);
+  b.output("result", result);
+  nl.validate();
+  return nl;
+}
+
+Netlist buildBistedModule(const BistEngine& engine, int m) {
+  const BistEngineConfig& cfg = engine.config();
+  const Netlist& module = engine.module(m);
+  Netlist nl(module.name() + "_bisted");
+  Builder b(nl);
+
+  const NetId bist_reset = b.input("bist_reset", 1)[0];
+  const NetId test_enable = b.input("test_enable", 1)[0];
+  const NetId te_run = b.and2(test_enable, b.not1(bist_reset));
+
+  // BIST pattern sources.
+  const auto taps = cfg.lfsr_taps.empty() ? primitiveTaps(cfg.lfsr_width)
+                                          : cfg.lfsr_taps;
+  const AlfsrHw lfsr =
+      buildAlfsrHw(b, cfg.lfsr_width, taps, cfg.lfsr_seed, te_run, bist_reset);
+
+  // Constraint generator hardware, one per CG id used by this module's map.
+  std::vector<Bus> cg_values;
+  {
+    int num_cgs = 0;
+    for (const auto& src : engine.inputMap(m)) {
+      if (src.kind == InputSourceKind::kConstraint &&
+          src.index >= num_cgs) {
+        num_cgs = src.index + 1;
+      }
+    }
+    for (int c = 0; c < num_cgs; ++c) {
+      cg_values.push_back(
+          buildCgHw(b, engine.constraintGenerator(m, c), te_run, bist_reset));
+    }
+  }
+
+  // Absorb the module and stitch its inputs through test muxes.
+  std::unordered_map<NetId, std::size_t> pi_pos;
+  for (std::size_t i = 0; i < module.primaryInputs().size(); ++i) {
+    pi_pos.emplace(module.primaryInputs()[i], i);
+  }
+  nl.absorb(module, "u_");
+  for (const PortBus& port : module.ports()) {
+    if (!port.is_input) continue;
+    const PortBus* inner = nl.findPort("u_" + port.name);
+    const Bus functional = b.input("f_" + port.name,
+                                   static_cast<int>(port.bits.size()));
+    for (std::size_t i = 0; i < inner->bits.size(); ++i) {
+      const InputSource& src =
+          engine.inputMap(m)[pi_pos.at(port.bits[i])];
+      NetId bist_bit = kNullNet;
+      if (src.kind == InputSourceKind::kAlfsr) {
+        bist_bit = lfsr.state[static_cast<std::size_t>(src.index)];
+      } else {
+        bist_bit = cg_values[static_cast<std::size_t>(src.index)]
+                            [static_cast<std::size_t>(src.bit)];
+      }
+      nl.driveNet(inner->bits[i], b.mux(functional[i], bist_bit, test_enable));
+    }
+  }
+
+  // Functional outputs pass through; the MISR taps them as extra fanout.
+  std::vector<NetId> response;
+  for (const PortBus& port : module.ports()) {
+    if (port.is_input) continue;
+    const PortBus* inner = nl.findPort("u_" + port.name);
+    b.output(port.name, inner->bits);
+    response.insert(response.end(), inner->bits.begin(), inner->bits.end());
+  }
+  const MisrHw misr = buildMisrHw(b, response, cfg.misr_width, te_run,
+                                  bist_reset);
+  b.output("bist_signature", misr.state);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace corebist

@@ -1,0 +1,36 @@
+// Structural (gate-level) BIST hardware generators.
+//
+// Two artifacts:
+//  1. buildBistEngineHw(): the standalone BIST engine of Fig. 2 — ALFSR,
+//     Constraint Generators, pattern counter + compare, start/run/done FSM,
+//     one MISR per module with XOR-cascade folding, and the Output Selector.
+//     Its cell area is the "BIST engine" row of Table 2.
+//  2. buildBistedModule(): a module under test with the BIST plumbing
+//     physically merged (input-side test muxes, ALFSR/CG sources, MISR on
+//     the outputs). This is the netlist the paper fault-simulates in step 2
+//     ("the design ... should already include the Pattern Generator and the
+//     MISRs") and the one whose fmax drop appears in Table 4. Running it
+//     with test_enable=1 reproduces the software BIST signature bit-exactly.
+#ifndef COREBIST_BIST_ENGINE_HW_HPP_
+#define COREBIST_BIST_ENGINE_HW_HPP_
+
+#include "bist/engine.hpp"
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// Standalone engine hardware for area accounting.
+/// Ports: in cmd[3], data[16], dut_out_<m>[w_m] per module;
+///        out test_enable, end_test, result[misr_width].
+[[nodiscard]] Netlist buildBistEngineHw(const BistEngine& engine);
+
+/// Module + merged BIST plumbing. Ports:
+///   in  f_<origport>[w]  (functional inputs), bist_reset, test_enable
+///   out <origport>[w]    (functional outputs), bist_signature[misr_width]
+/// With bist_reset pulsed once and test_enable held high, after N clocks
+/// bist_signature equals BistEngine::goldenSignature(m, N).
+[[nodiscard]] Netlist buildBistedModule(const BistEngine& engine, int m);
+
+}  // namespace corebist
+
+#endif  // COREBIST_BIST_ENGINE_HW_HPP_

@@ -1,0 +1,84 @@
+// SoC assembly and complete ATE-style test sessions (paper Fig. 1).
+//
+// A Soc owns the chip TAP controller, the TAM and a set of wrapped cores;
+// SocTestSession is the "external ATE": it drives everything exclusively
+// through TCK/TMS/TDI bit-banging — select the core, program the pattern
+// count through the WCDR, start the BIST, idle the TAP while the engine
+// runs at speed, then upload every MISR signature through the WDR and
+// compare with the golden references.
+#ifndef COREBIST_CORE_SOC_HPP_
+#define COREBIST_CORE_SOC_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wrapped_core.hpp"
+#include "jtag/driver.hpp"
+#include "jtag/tap.hpp"
+#include "tam/tam.hpp"
+
+namespace corebist {
+
+class Soc {
+ public:
+  explicit Soc(std::string name = "soc");
+
+  /// Add a finalized-on-attach wrapped core; returns the core index.
+  int attachCore(std::unique_ptr<WrappedCore> core);
+
+  [[nodiscard]] WrappedCore& core(int i) {
+    return *cores_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int coreCount() const noexcept {
+    return static_cast<int>(cores_.size());
+  }
+  [[nodiscard]] TapController& tap() noexcept { return tap_; }
+  [[nodiscard]] Tam& tam() noexcept { return tam_; }
+
+ private:
+  std::string name_;
+  TapController tap_;
+  Tam tam_;
+  std::vector<std::unique_ptr<WrappedCore>> cores_;
+};
+
+struct ModuleVerdict {
+  std::uint16_t signature = 0;
+  std::uint16_t golden = 0;
+  [[nodiscard]] bool pass() const noexcept { return signature == golden; }
+};
+
+struct CoreTestReport {
+  int core_index = -1;
+  bool pass = false;
+  bool end_test_seen = false;
+  std::vector<ModuleVerdict> modules;
+  std::size_t tap_clocks = 0;   // total TCKs spent in the session
+  std::size_t bist_cycles = 0;  // at-speed pattern clocks
+  [[nodiscard]] std::string summary() const;
+};
+
+class SocTestSession {
+ public:
+  explicit SocTestSession(Soc& soc) : soc_(soc), driver_(soc.tap()) {}
+
+  /// Run the full P1500 BIST session on one core.
+  [[nodiscard]] CoreTestReport testCore(int core_index, int patterns);
+
+  /// Test every core in sequence.
+  [[nodiscard]] std::vector<CoreTestReport> testAll(int patterns);
+
+ private:
+  void selectCore(int core_index);
+  void loadWir(WirInstruction instr);
+  void sendCommand(BistCommand cmd, std::uint16_t data);
+  [[nodiscard]] std::uint16_t readWdr();
+
+  Soc& soc_;
+  TapDriver driver_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_CORE_SOC_HPP_

@@ -1,0 +1,87 @@
+#include "core/wrapped_core.hpp"
+
+#include <stdexcept>
+
+namespace corebist {
+
+WrappedCore::WrappedCore(std::string name, BistEngineConfig cfg)
+    : name_(std::move(name)), engine_(std::move(cfg)) {}
+
+int WrappedCore::addModule(const Netlist& reference,
+                           std::vector<ConstrainedPort> constraints) {
+  if (wrapper_ != nullptr) {
+    throw std::logic_error("addModule after finalize");
+  }
+  const int m = engine_.attachModule(reference, std::move(constraints));
+  physical_.push_back(reference);  // pin-compatible manufactured instance
+  return m;
+}
+
+void WrappedCore::injectDefect(int module, GateId gate, GateType new_type) {
+  physical_.at(static_cast<std::size_t>(module)).mutateGateType(gate, new_type);
+  run_complete_ = false;
+  signatures_.clear();
+}
+
+void WrappedCore::healModule(int module) {
+  physical_.at(static_cast<std::size_t>(module)) = engine_.module(module);
+  run_complete_ = false;
+  signatures_.clear();
+}
+
+void WrappedCore::finalize() {
+  if (wrapper_ != nullptr) return;
+  int wbr_bits = 0;
+  for (int m = 0; m < engine_.moduleCount(); ++m) {
+    wbr_bits += engine_.module(m).portWidth(true) +
+                engine_.module(m).portWidth(false);
+  }
+  P1500Wrapper::Hooks hooks;
+  hooks.command = [this](BistCommand cmd, std::uint16_t data) {
+    onCommand(cmd, data);
+  };
+  hooks.read_data = [this] { return readData(); };
+  wrapper_ = std::make_unique<P1500Wrapper>(wbr_bits, std::move(hooks));
+}
+
+void WrappedCore::onCommand(BistCommand cmd, std::uint16_t data) {
+  cu_.command(cmd, data);
+  if (cmd == BistCommand::kReset || cmd == BistCommand::kStart) {
+    run_complete_ = false;
+    signatures_.clear();
+  }
+}
+
+void WrappedCore::systemClockTick() {
+  const bool was_running = cu_.testEnable();
+  cu_.tick();
+  if (was_running && cu_.endTest() && !run_complete_) completeRun();
+}
+
+void WrappedCore::completeRun() {
+  // The at-speed BIST run finished: collect the MISR signatures of every
+  // physical module (paper: patterns applied one per clock, results read
+  // at the end of the execution).
+  signatures_.clear();
+  const int patterns = static_cast<int>(cu_.patternLimit());
+  for (int m = 0; m < engine_.moduleCount(); ++m) {
+    signatures_.push_back(static_cast<std::uint16_t>(
+        engine_.runAndSign(m, physical_[static_cast<std::size_t>(m)],
+                           patterns)));
+  }
+  run_complete_ = true;
+}
+
+std::uint16_t WrappedCore::goldenSignature(int m, int patterns) const {
+  return static_cast<std::uint16_t>(engine_.goldenSignature(m, patterns));
+}
+
+std::uint32_t WrappedCore::readData() const {
+  const unsigned sel = cu_.resultSelect();
+  if (run_complete_ && sel < signatures_.size()) {
+    return signatures_[sel];
+  }
+  return cu_.statusWord() & 0xFFFFu;
+}
+
+}  // namespace corebist

@@ -1,0 +1,72 @@
+#include "diag/diagnosis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace corebist {
+
+namespace {
+struct SyndromeHash {
+  std::size_t operator()(const Syndrome& s) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto w : s.words) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+}  // namespace
+
+EquivalenceClasses analyzeSyndromes(const std::vector<Syndrome>& syndromes) {
+  EquivalenceClasses out;
+  std::unordered_map<Syndrome, std::size_t, SyndromeHash> classes;
+  for (const Syndrome& s : syndromes) {
+    if (s.empty()) {
+      ++out.undetected;
+      continue;
+    }
+    ++out.analyzed;
+    ++classes[s];
+  }
+  out.num_classes = classes.size();
+  double sum = 0.0;
+  for (const auto& [syn, count] : classes) {
+    out.max_size = std::max(out.max_size, count);
+    sum += static_cast<double>(count);
+    if (out.histogram.size() < count) out.histogram.resize(count, 0);
+    ++out.histogram[count - 1];
+  }
+  out.mean_size = classes.empty() ? 0.0 : sum / static_cast<double>(classes.size());
+  return out;
+}
+
+std::vector<Syndrome> syndromesFromWindows(
+    const std::vector<std::uint64_t>& window_masks) {
+  std::vector<Syndrome> out;
+  out.reserve(window_masks.size());
+  for (const auto mask : window_masks) {
+    out.push_back(Syndrome{{mask}});
+  }
+  return out;
+}
+
+std::vector<Syndrome> syndromesFromPatternLists(
+    const std::vector<std::vector<std::uint32_t>>& detections) {
+  std::vector<Syndrome> out;
+  out.reserve(detections.size());
+  for (const auto& list : detections) {
+    Syndrome s;
+    for (const auto p : list) {
+      const std::size_t word = p / 64;
+      if (s.words.size() <= word) s.words.resize(word + 1, 0);
+      s.words[word] |= std::uint64_t{1} << (p % 64);
+    }
+    // Normalize length so equal sets compare equal.
+    while (!s.words.empty() && s.words.back() == 0) s.words.pop_back();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace corebist

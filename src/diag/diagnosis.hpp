@@ -1,0 +1,62 @@
+// Diagnostic matrix and equivalent-fault-class analysis (paper §3.2 step 3,
+// Table 5).
+//
+// "The collected information, by means of the obtained syndromes, can be
+//  used to build the so-called diagnostic matrix, allowing to identify the
+//  faults belonging to the same equivalent fault class."
+//
+// A syndrome is whatever detection signature a test scheme produces per
+// fault:
+//  * BIST: the set of MISR read-out windows in which the fault corrupts an
+//    output (windowed signature readout through the Output Selector);
+//  * sequential / full-scan patterns: the set of detecting pattern indices
+//    (truncated to the first K detections, the standard stop-on-first-error
+//    dictionary).
+// Faults with identical syndromes are indistinguishable: they form one
+// equivalent fault class; Table 5 reports the maximum and the mean class
+// size (undetected faults form their own all-zero class and are excluded,
+// matching the diagnostic-matrix convention).
+#ifndef COREBIST_DIAG_DIAGNOSIS_HPP_
+#define COREBIST_DIAG_DIAGNOSIS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace corebist {
+
+/// One row of the diagnostic matrix: a per-fault syndrome.
+struct Syndrome {
+  std::vector<std::uint64_t> words;
+  [[nodiscard]] bool operator==(const Syndrome&) const = default;
+  [[nodiscard]] bool empty() const {
+    for (const auto w : words) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct EquivalenceClasses {
+  std::size_t analyzed = 0;    // detected faults that entered the matrix
+  std::size_t undetected = 0;  // excluded (empty syndromes)
+  std::size_t num_classes = 0;
+  std::size_t max_size = 0;
+  double mean_size = 0.0;
+  std::vector<std::size_t> histogram;  // histogram[k] = classes of size k+1
+};
+
+/// Partition faults by syndrome equality.
+[[nodiscard]] EquivalenceClasses analyzeSyndromes(
+    const std::vector<Syndrome>& syndromes);
+
+/// Build syndromes from per-fault detection-window masks (BIST style).
+[[nodiscard]] std::vector<Syndrome> syndromesFromWindows(
+    const std::vector<std::uint64_t>& window_masks);
+
+/// Build syndromes from per-fault first-K detecting pattern lists.
+[[nodiscard]] std::vector<Syndrome> syndromesFromPatternLists(
+    const std::vector<std::vector<std::uint32_t>>& detections);
+
+}  // namespace corebist
+
+#endif  // COREBIST_DIAG_DIAGNOSIS_HPP_

@@ -1,0 +1,57 @@
+// Statement-coverage recorder (paper §3.2 step 1, Fig. 3).
+//
+// The paper measures "the percent number of VHDL lines executed" while
+// pseudo-random patterns run on the RTL description. Our behavioural module
+// models are instrumented with numbered statement probes; the recorder
+// counts which probes fired, which is the same metric at the same
+// granularity (one probe per executable statement/branch arm).
+#ifndef COREBIST_EVAL_COVERAGE_HPP_
+#define COREBIST_EVAL_COVERAGE_HPP_
+
+#include <cstddef>
+#include <vector>
+
+namespace corebist {
+
+class StatementCoverage {
+ public:
+  explicit StatementCoverage(int num_statements)
+      : hits_(static_cast<std::size_t>(num_statements), 0) {}
+
+  void hit(int id) {
+    if (id >= 0 && static_cast<std::size_t>(id) < hits_.size()) {
+      ++hits_[static_cast<std::size_t>(id)];
+    }
+  }
+
+  [[nodiscard]] int total() const noexcept {
+    return static_cast<int>(hits_.size());
+  }
+  [[nodiscard]] int covered() const noexcept {
+    int c = 0;
+    for (const auto h : hits_) {
+      if (h > 0) ++c;
+    }
+    return c;
+  }
+  /// Fraction of statements executed at least once, in [0,1].
+  [[nodiscard]] double coverage() const noexcept {
+    return hits_.empty()
+               ? 0.0
+               : static_cast<double>(covered()) /
+                     static_cast<double>(hits_.size());
+  }
+  [[nodiscard]] std::size_t hitCount(int id) const {
+    return hits_.at(static_cast<std::size_t>(id));
+  }
+  void clear() {
+    for (auto& h : hits_) h = 0;
+  }
+
+ private:
+  std::vector<std::size_t> hits_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_EVAL_COVERAGE_HPP_

@@ -1,0 +1,153 @@
+#include "fault/comb_fsim.hpp"
+
+#include <stdexcept>
+
+namespace corebist {
+
+CombFaultSim::CombFaultSim(const Netlist& nl, std::span<const NetId> inputs,
+                           std::span<const NetId> observed)
+    : nl_(nl),
+      lev_(levelize(nl)),
+      order_index_(nl.numGates(), -1),
+      inputs_(inputs.begin(), inputs.end()),
+      observed_(observed.begin(), observed.end()),
+      observed_flag_(nl.numNets(), 0),
+      good_(nl.numNets(), 0),
+      goodv1_(nl.numNets(), 0),
+      fval_(nl.numNets(), 0),
+      stamp_(nl.numNets(), 0),
+      in_queue_(nl.numGates(), 0),
+      level_buckets_(static_cast<std::size_t>(lev_.depth) + 1) {
+  for (std::size_t i = 0; i < lev_.order.size(); ++i) {
+    order_index_[lev_.order[i]] = static_cast<int>(i);
+  }
+  for (const NetId n : observed_) observed_flag_[n] = 1;
+}
+
+void CombFaultSim::simulateGood(const PatternBlock& block,
+                                std::vector<std::uint64_t>& dst) {
+  if (block.inputs.size() != inputs_.size()) {
+    throw std::invalid_argument("CombFaultSim: pattern width mismatch");
+  }
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    dst[inputs_[i]] = block.inputs[i];
+  }
+  const auto& gates = nl_.gates();
+  for (const GateId g : lev_.order) {
+    const Gate& gate = gates[g];
+    const std::uint64_t a = gate.nin > 0 ? dst[gate.in[0]] : 0;
+    const std::uint64_t b = gate.nin > 1 ? dst[gate.in[1]] : 0;
+    const std::uint64_t s = gate.nin > 2 ? dst[gate.in[2]] : 0;
+    dst[gate.out] = evalGateWord(gate.type, a, b, s);
+  }
+}
+
+void CombFaultSim::loadBlock(const PatternBlock& block) {
+  simulateGood(block, good_);
+  lane_mask_ = block.laneMask();
+  pair_mode_ = false;
+}
+
+void CombFaultSim::loadPairBlock(const PatternBlock& v1,
+                                 const PatternBlock& v2) {
+  simulateGood(v1, goodv1_);
+  simulateGood(v2, good_);
+  lane_mask_ = v2.laneMask() & v1.laneMask();
+  pair_mode_ = true;
+}
+
+std::uint64_t CombFaultSim::detect(const Fault& f) {
+  // Faulty word presented at the site.
+  std::uint64_t forced = 0;
+  switch (f.kind) {
+    case FaultKind::kSa0:
+      forced = 0;
+      break;
+    case FaultKind::kSa1:
+      forced = ~std::uint64_t{0};
+      break;
+    case FaultKind::kSlowRise:
+      if (!pair_mode_) {
+        throw std::logic_error("transition fault requires loadPairBlock");
+      }
+      // The rising edge arrives after capture: the site still shows the old
+      // value whenever v1=0, v2=1; all other lanes are fault-free.
+      forced = good_[f.net] & goodv1_[f.net];
+      break;
+    case FaultKind::kSlowFall:
+      if (!pair_mode_) {
+        throw std::logic_error("transition fault requires loadPairBlock");
+      }
+      forced = good_[f.net] | goodv1_[f.net];
+      break;
+  }
+  return propagate(f.net, forced, f.isStem() ? Fault::kNoGate : f.gate,
+                   f.pin) &
+         lane_mask_;
+}
+
+std::uint64_t CombFaultSim::propagate(NetId site_net, std::uint64_t faulty_word,
+                                      GateId branch_gate,
+                                      std::uint8_t branch_pin) {
+  const auto& gates = nl_.gates();
+  const auto& readers = nl_.readers();
+  ++epoch_;
+  std::uint64_t detected = 0;
+
+  int min_level = lev_.depth + 1;
+  auto enqueue = [this, &min_level](GateId g) {
+    if (in_queue_[g] == epoch_) return;
+    in_queue_[g] = epoch_;
+    const int lvl = lev_.level[g];
+    level_buckets_[static_cast<std::size_t>(lvl)].push_back(g);
+    if (lvl < min_level) min_level = lvl;
+  };
+
+  if (branch_gate == Fault::kNoGate) {
+    // Stem fault: all readers see the forced value.
+    const std::uint64_t diff = faulty_word ^ good_[site_net];
+    if (diff == 0) return 0;
+    fval_[site_net] = faulty_word;
+    stamp_[site_net] = epoch_;
+    if (observed_flag_[site_net]) detected |= diff;
+    for (const NetReader& r : readers[site_net]) enqueue(r.gate);
+  } else {
+    // Branch fault: only (gate, pin) sees the forced value. Upstream values
+    // are fault-free, so this gate is re-evaluated exactly once.
+    const Gate& gate = gates[branch_gate];
+    std::uint64_t in[3] = {0, 0, 0};
+    for (int p = 0; p < gate.nin; ++p) in[p] = good_[gate.in[static_cast<std::size_t>(p)]];
+    in[branch_pin] = faulty_word;
+    const std::uint64_t out = evalGateWord(gate.type, in[0], in[1], in[2]);
+    const std::uint64_t diff = out ^ good_[gate.out];
+    if (diff == 0) return 0;
+    fval_[gate.out] = out;
+    stamp_[gate.out] = epoch_;
+    if (observed_flag_[gate.out]) detected |= diff;
+    for (const NetReader& r : readers[gate.out]) enqueue(r.gate);
+  }
+
+  for (int lvl = min_level; lvl <= lev_.depth; ++lvl) {
+    auto& bucket = level_buckets_[static_cast<std::size_t>(lvl)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g = bucket[i];
+      const Gate& gate = gates[g];
+      const std::uint64_t a = gate.nin > 0 ? readFaulty(gate.in[0]) : 0;
+      const std::uint64_t b = gate.nin > 1 ? readFaulty(gate.in[1]) : 0;
+      const std::uint64_t s = gate.nin > 2 ? readFaulty(gate.in[2]) : 0;
+      const std::uint64_t out = evalGateWord(gate.type, a, b, s);
+      if (out == good_[gate.out] && stamp_[gate.out] != epoch_) continue;
+      const std::uint64_t diff = out ^ good_[gate.out];
+      fval_[gate.out] = out;
+      stamp_[gate.out] = epoch_;
+      if (diff != 0) {
+        if (observed_flag_[gate.out]) detected |= diff;
+        for (const NetReader& r : readers[gate.out]) enqueue(r.gate);
+      }
+    }
+    bucket.clear();
+  }
+  return detected;
+}
+
+}  // namespace corebist

@@ -1,0 +1,91 @@
+// Pattern-parallel (PPSFP) combinational fault simulation.
+//
+// Used for the full-scan view of a module: scan cells turn flip-flops into
+// pseudo-PIs/pseudo-POs, so each test pattern is one combinational vector.
+// 64 patterns are packed per block; faults are simulated one at a time with
+// event-driven forward propagation from the fault site (only the affected
+// cone is re-evaluated), which is the classic single-fault-propagation
+// scheme TetraMax-class tools use.
+#ifndef COREBIST_FAULT_COMB_FSIM_HPP_
+#define COREBIST_FAULT_COMB_FSIM_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// 64 combinational patterns: one word per input position (word bit k is the
+/// value of that input in pattern k).
+struct PatternBlock {
+  std::vector<std::uint64_t> inputs;
+  int count = 64;  // number of meaningful lanes
+  [[nodiscard]] std::uint64_t laneMask() const noexcept {
+    return count >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << count) - 1);
+  }
+};
+
+class CombFaultSim {
+ public:
+  /// `inputs` are the controllable nets (PIs + pseudo-PIs), `observed` the
+  /// observable nets (POs + pseudo-POs).
+  CombFaultSim(const Netlist& nl, std::span<const NetId> inputs,
+               std::span<const NetId> observed);
+
+  /// Good-simulate one block of patterns.
+  void loadBlock(const PatternBlock& block);
+
+  /// Good-simulate an aligned pattern-pair block (v1 launch, v2 capture) for
+  /// transition faults. Detection is evaluated on v2.
+  void loadPairBlock(const PatternBlock& v1, const PatternBlock& v2);
+
+  /// Lanes (patterns of the loaded block) that detect `f`.
+  [[nodiscard]] std::uint64_t detect(const Fault& f);
+
+  /// Good value of a net in the loaded (v2) block.
+  [[nodiscard]] std::uint64_t goodValue(NetId n) const { return good_[n]; }
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+  [[nodiscard]] std::span<const NetId> inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] std::span<const NetId> observed() const noexcept {
+    return observed_;
+  }
+
+ private:
+  void simulateGood(const PatternBlock& block, std::vector<std::uint64_t>& dst);
+  std::uint64_t propagate(NetId site_net, std::uint64_t faulty_word,
+                          GateId branch_gate, std::uint8_t branch_pin);
+  [[nodiscard]] std::uint64_t readFaulty(NetId n) const {
+    return stamp_[n] == epoch_ ? fval_[n] : good_[n];
+  }
+
+  const Netlist& nl_;
+  Levelization lev_;
+  std::vector<int> order_index_;  // gate id -> position in topological order
+  std::vector<NetId> inputs_;
+  std::vector<NetId> observed_;
+  std::vector<char> observed_flag_;
+
+  std::vector<std::uint64_t> good_;    // v2 (capture) good values
+  std::vector<std::uint64_t> goodv1_;  // v1 (launch) good values; pair mode
+  bool pair_mode_ = false;
+  std::uint64_t lane_mask_ = ~std::uint64_t{0};
+
+  // Event-driven propagation scratch (epoch-stamped copy-on-write).
+  std::vector<std::uint64_t> fval_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> in_queue_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::vector<GateId>> level_buckets_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_FAULT_COMB_FSIM_HPP_

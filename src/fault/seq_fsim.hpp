@@ -1,0 +1,99 @@
+// Fault-parallel sequential fault simulation.
+//
+// The BIST engine applies one pseudo-random pattern per clock at speed and
+// observes module outputs (through MISRs) every cycle; fault effects persist
+// in flip-flop state. This simulator packs the good machine into bit 0 of
+// every 64-bit net word and up to 63 faulty machines into bits 1..63; all
+// machines share the broadcast stimulus. Fault injection is performed by
+// patching machine bits at the fault site after the site's driver has been
+// evaluated (stems) or re-evaluating the single consuming gate (branches).
+//
+// Transition-delay faults use the gross-delay model: the slow edge arrives
+// after the next clock, so the site presents
+//   slow-to-rise:  cur AND prev     slow-to-fall:  cur OR prev
+// of the machine's own raw site value across consecutive cycles.
+//
+// Two-pass scheduling: a short prepass drops the easy majority of faults,
+// survivors are regrouped densely and re-run for the full pattern budget.
+#ifndef COREBIST_FAULT_SEQ_FSIM_HPP_
+#define COREBIST_FAULT_SEQ_FSIM_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// Bit-sliced MISR model: `feeds[j]` lists the output nets XOR-folded into
+/// tap j (the paper folds wide module outputs into 16-bit MISRs through XOR
+/// cascades). `poly` holds the feedback taps (bit j set => tap j receives
+/// the MSB feedback), i.e. the characteristic polynomial minus x^width.
+struct MisrSpec {
+  int width = 16;
+  std::uint64_t poly = 0;
+  std::vector<std::vector<NetId>> feeds;
+};
+
+struct SeqFsimOptions {
+  int cycles = 4096;
+  int prepass_cycles = 256;  // 0 disables the two-pass schedule
+  bool drop_detected = true;
+  int num_threads = 2;
+  /// >0: record a per-window detection mask per fault (diagnosis syndromes);
+  /// implies full-length simulation of every group.
+  int windows = 0;
+  /// Optional MISR compaction model (empirical aliasing measurement).
+  std::optional<MisrSpec> misr;
+  /// Observation points; empty => primary outputs of the netlist.
+  std::vector<NetId> observe;
+};
+
+struct SeqFsimResult {
+  std::vector<std::int32_t> first_detect;  // -1 => undetected at outputs
+  std::vector<std::uint64_t> window_mask;  // per fault, when windows > 0
+  std::vector<char> misr_detect;           // per fault, when misr set
+  /// Per fault, when windows > 0 AND misr set: the XOR difference between
+  /// the faulty and good MISR signatures at every window boundary, packed
+  /// window-major (windows * misr.width bits -> sig_words per fault). This
+  /// is exactly what reading the MISR through the Output Selector after
+  /// every window yields, and is the BIST diagnosis syndrome of Table 5.
+  std::vector<std::uint64_t> window_sig;
+  int sig_words_per_fault = 0;
+  std::size_t detected = 0;
+  std::size_t total = 0;
+
+  [[nodiscard]] double coverage() const {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(detected) /
+                            static_cast<double>(total);
+  }
+};
+
+class SeqFaultSim {
+ public:
+  explicit SeqFaultSim(const Netlist& nl);
+
+  /// Run `faults` against `stimulus` (stimulus[c] bit j drives the j-th
+  /// primary input at cycle c; requires <= 64 primary inputs).
+  [[nodiscard]] SeqFsimResult run(std::span<const Fault> faults,
+                                  std::span<const std::uint64_t> stimulus,
+                                  const SeqFsimOptions& opts) const;
+
+  /// Good-machine MISR signature for a stimulus (no faults), for golden
+  /// signature generation.
+  [[nodiscard]] std::vector<std::uint64_t> goodSignature(
+      std::span<const std::uint64_t> stimulus, int cycles,
+      const MisrSpec& misr) const;
+
+ private:
+  const Netlist& nl_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_FAULT_SEQ_FSIM_HPP_

@@ -1,0 +1,82 @@
+// IEEE 1149.1 TAP controller (paper Fig. 1: the SoC's external test access).
+//
+// Full 16-state FSM plus a pluggable data-register port per IR instruction;
+// BYPASS and IDCODE are built in. The TAM registers its own DR ports to
+// route CaptureDR/ShiftDR/UpdateDR into P1500 WSC sequences.
+#ifndef COREBIST_JTAG_TAP_HPP_
+#define COREBIST_JTAG_TAP_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace corebist {
+
+enum class TapState : std::uint8_t {
+  kTestLogicReset,
+  kRunTestIdle,
+  kSelectDrScan,
+  kCaptureDr,
+  kShiftDr,
+  kExit1Dr,
+  kPauseDr,
+  kExit2Dr,
+  kUpdateDr,
+  kSelectIrScan,
+  kCaptureIr,
+  kShiftIr,
+  kExit1Ir,
+  kPauseIr,
+  kExit2Ir,
+  kUpdateIr,
+};
+
+[[nodiscard]] std::string_view tapStateName(TapState s);
+[[nodiscard]] TapState tapNextState(TapState s, bool tms);
+
+class TapController {
+ public:
+  /// A data-register backend bound to one IR instruction value.
+  struct DrPort {
+    std::function<void()> capture;
+    std::function<bool(bool tdi)> shift;  // returns tdo
+    std::function<void()> update;
+    /// Called once per TCK spent in Run-Test/Idle (system clocks for BIST).
+    std::function<void()> run_idle;
+  };
+
+  explicit TapController(int ir_width = 4, std::uint32_t idcode = 0xC0DEB157u);
+
+  void registerInstruction(std::uint32_t ir_value, DrPort port);
+
+  /// One TCK with the given TMS/TDI; returns TDO.
+  bool clock(bool tms, bool tdi);
+
+  [[nodiscard]] TapState state() const noexcept { return state_; }
+  [[nodiscard]] std::uint32_t instruction() const noexcept { return ir_; }
+  [[nodiscard]] int irWidth() const noexcept { return ir_width_; }
+  [[nodiscard]] std::uint32_t idcode() const noexcept { return idcode_; }
+  [[nodiscard]] std::size_t tckCount() const noexcept { return tcks_; }
+
+  static constexpr std::uint32_t kBypass = 0xFFFFFFFFu;  // all-ones IR
+  static constexpr std::uint32_t kIdcode = 0x1u;
+
+ private:
+  [[nodiscard]] DrPort* currentPort();
+
+  int ir_width_;
+  std::uint32_t idcode_;
+  TapState state_ = TapState::kTestLogicReset;
+  std::uint32_t ir_ = kBypass;
+  std::vector<bool> ir_shift_;
+  std::map<std::uint32_t, DrPort> ports_;
+  bool bypass_bit_ = false;
+  std::uint32_t idcode_shift_ = 0;
+  std::size_t tcks_ = 0;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_JTAG_TAP_HPP_

@@ -1,0 +1,77 @@
+#include "ldpc/arch/adapters.hpp"
+
+#include "ldpc/arch/bit_node.hpp"
+#include "ldpc/arch/check_node.hpp"
+#include "ldpc/arch/control_unit.hpp"
+
+namespace corebist::ldpc {
+
+namespace {
+
+class BitNodeAdapter final : public ModuleAdapter {
+ public:
+  [[nodiscard]] std::string name() const override { return "BIT_NODE"; }
+  [[nodiscard]] int numStatements() const override {
+    return BitNodeModel::kNumStatements;
+  }
+  void reset(StatementCoverage* cov) override {
+    model_ = BitNodeModel(cov);
+    model_.reset();
+  }
+  void step(std::uint64_t in_bits) override {
+    model_.tick(unpackBitNodeIn(in_bits));
+  }
+
+ private:
+  BitNodeModel model_{nullptr};
+};
+
+class CheckNodeAdapter final : public ModuleAdapter {
+ public:
+  [[nodiscard]] std::string name() const override { return "CHECK_NODE"; }
+  [[nodiscard]] int numStatements() const override {
+    return CheckNodeModel::kNumStatements;
+  }
+  void reset(StatementCoverage* cov) override {
+    model_ = CheckNodeModel(cov);
+    model_.reset();
+  }
+  void step(std::uint64_t in_bits) override {
+    model_.tick(unpackCheckNodeIn(in_bits));
+  }
+
+ private:
+  CheckNodeModel model_{nullptr};
+};
+
+class ControlUnitAdapter final : public ModuleAdapter {
+ public:
+  [[nodiscard]] std::string name() const override { return "CONTROL_UNIT"; }
+  [[nodiscard]] int numStatements() const override {
+    return ControlUnitModel::kNumStatements;
+  }
+  void reset(StatementCoverage* cov) override {
+    model_ = ControlUnitModel(cov);
+    model_.reset();
+  }
+  void step(std::uint64_t in_bits) override {
+    model_.tick(unpackControlUnitIn(in_bits));
+  }
+
+ private:
+  ControlUnitModel model_{nullptr};
+};
+
+}  // namespace
+
+std::unique_ptr<ModuleAdapter> makeBitNodeAdapter() {
+  return std::make_unique<BitNodeAdapter>();
+}
+std::unique_ptr<ModuleAdapter> makeCheckNodeAdapter() {
+  return std::make_unique<CheckNodeAdapter>();
+}
+std::unique_ptr<ModuleAdapter> makeControlUnitAdapter() {
+  return std::make_unique<ControlUnitAdapter>();
+}
+
+}  // namespace corebist::ldpc

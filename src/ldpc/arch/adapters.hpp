@@ -1,0 +1,33 @@
+// Uniform stimulus adapters: drive a behavioural module model from the same
+// packed per-cycle input words the BIST engine feeds the gate-level module.
+// Used by the Fig. 3 evaluation flow (statement coverage on the "RTL" while
+// the exact BIST stimulus runs).
+#ifndef COREBIST_LDPC_ARCH_ADAPTERS_HPP_
+#define COREBIST_LDPC_ARCH_ADAPTERS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "eval/coverage.hpp"
+
+namespace corebist::ldpc {
+
+class ModuleAdapter {
+ public:
+  virtual ~ModuleAdapter() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int numStatements() const = 0;
+  virtual void reset(StatementCoverage* cov) = 0;
+  /// Apply one packed input word (same layout as the gate-level PIs) and
+  /// clock the model.
+  virtual void step(std::uint64_t in_bits) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ModuleAdapter> makeBitNodeAdapter();
+[[nodiscard]] std::unique_ptr<ModuleAdapter> makeCheckNodeAdapter();
+[[nodiscard]] std::unique_ptr<ModuleAdapter> makeControlUnitAdapter();
+
+}  // namespace corebist::ldpc
+
+#endif  // COREBIST_LDPC_ARCH_ADAPTERS_HPP_

@@ -1,0 +1,154 @@
+#include "ldpc/arch/decoder.hpp"
+
+#include <stdexcept>
+
+namespace corebist::ldpc {
+
+SerialDecoder::SerialDecoder(const LdpcCode& code, int max_iters,
+                             StatementCoverage* bn_cov,
+                             StatementCoverage* cn_cov)
+    : code_(code), max_iters_(max_iters), bn_(bn_cov), cn_(cn_cov) {
+  if (code.maxColDegree() > 4) {
+    throw std::invalid_argument(
+        "SerialDecoder: bit-node degree exceeds the 4-entry message buffer");
+  }
+  if (code.maxRowDegree() > kCnBufSize) {
+    throw std::invalid_argument(
+        "SerialDecoder: check-row degree exceeds the magnitude buffer");
+  }
+  edge_base_row_.reserve(static_cast<std::size_t>(code.m()));
+  int at = 0;
+  for (int r = 0; r < code.m(); ++r) {
+    edge_base_row_.push_back(at);
+    at += static_cast<int>(code.row(r).size());
+  }
+  mem_b2c_.assign(static_cast<std::size_t>(at), 0);
+  mem_c2b_.assign(static_cast<std::size_t>(at), 0);
+}
+
+DecodeResult SerialDecoder::decode(const std::vector<int>& llr8) {
+  if (static_cast<int>(llr8.size()) != code_.n()) {
+    throw std::invalid_argument("SerialDecoder: wrong LLR length");
+  }
+  DecodeResult res;
+  res.word.assign(static_cast<std::size_t>(code_.n()), 0);
+  cycles_ = 0;
+  std::fill(mem_b2c_.begin(), mem_b2c_.end(), 0);
+  std::fill(mem_c2b_.begin(), mem_c2b_.end(), 0);
+  bn_.reset();
+  cn_.reset();
+
+  // Edge slot of (row, bit): position of `bit` within row r.
+  auto slotOf = [this](int r, int bit) {
+    const auto& row = code_.row(r);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == bit) {
+        return edge_base_row_[static_cast<std::size_t>(r)] +
+               static_cast<int>(i);
+      }
+    }
+    throw std::logic_error("SerialDecoder: edge not found");
+  };
+
+  for (int iter = 1; iter <= max_iters_; ++iter) {
+    // ---- Check-node pass: one virtual CN per row ----
+    for (int r = 0; r < code_.m(); ++r) {
+      const auto& row = code_.row(r);
+      const int d = static_cast<int>(row.size());
+      const int base = edge_base_row_[static_cast<std::size_t>(r)];
+      CheckNodeIn in;
+      in.cnode_id = static_cast<unsigned>(r);
+      in.ctrl = CnCtrl::kFlush;
+      cn_.tick(in);
+      ++cycles_;
+      in.ctrl = CnCtrl::kStart;
+      cn_.tick(in);
+      ++cycles_;
+      // Load one bit-to-check message per clock (memory A reads).
+      for (int e = 0; e < d; ++e) {
+        in = CheckNodeIn{};
+        in.cnode_id = static_cast<unsigned>(r);
+        in.ctrl = CnCtrl::kLoad;
+        in.edge_idx = static_cast<unsigned>(e);
+        in.row_deg = static_cast<unsigned>(d);
+        in.bn_msg = mem_b2c_[static_cast<std::size_t>(base + e)];
+        cn_.tick(in);
+        ++cycles_;
+      }
+      // Fold windows: pointer cycle then compute cycle per 10-entry window.
+      for (int w = 0; w < d; w += kCnWindow) {
+        in = CheckNodeIn{};
+        in.cnode_id = static_cast<unsigned>(r);
+        in.edge_idx = static_cast<unsigned>(w);
+        cn_.tick(in);  // pointer cycle loads the window pipeline
+        ++cycles_;
+        in.ctrl = CnCtrl::kCompute;
+        cn_.tick(in);
+        ++cycles_;
+      }
+      // Emit one check-to-bit message per clock (memory B writes), with the
+      // x0.75 normalization of the fixed-point reference decoder.
+      for (int e = 0; e < d; ++e) {
+        in = CheckNodeIn{};
+        in.cnode_id = static_cast<unsigned>(r);
+        in.ctrl = CnCtrl::kOutEn | CnCtrl::kUseNorm | CnCtrl::kValidIn;
+        in.edge_idx = static_cast<unsigned>(e);
+        in.row_deg = static_cast<unsigned>(d);
+        cn_.tick(in);
+        ++cycles_;
+        mem_c2b_[static_cast<std::size_t>(base + e)] = cn_.eval(in).cn_msg;
+      }
+    }
+
+    // ---- Bit-node pass: one virtual BN per column ----
+    for (int bit = 0; bit < code_.n(); ++bit) {
+      const auto& col = code_.col(bit);
+      const int d = static_cast<int>(col.size());
+      BitNodeIn in;
+      in.vnode_id = static_cast<unsigned>(bit);
+      in.ch_llr = satClamp(llr8[static_cast<std::size_t>(bit)], 8);
+      in.ctrl = BnCtrl::kStart | BnCtrl::kLoadLlr | BnCtrl::kFlush;
+      bn_.tick(in);
+      ++cycles_;
+      // Accumulate one check-to-bit message per clock (memory B reads).
+      for (int e = 0; e < d; ++e) {
+        in = BitNodeIn{};
+        in.vnode_id = static_cast<unsigned>(bit);
+        in.ctrl = BnCtrl::kAccEn;
+        in.edge_idx = static_cast<unsigned>(e);
+        in.degree = static_cast<unsigned>(d);
+        in.cn_msg =
+            mem_c2b_[static_cast<std::size_t>(slotOf(col[static_cast<std::size_t>(e)], bit))];
+        bn_.tick(in);
+        ++cycles_;
+      }
+      // Emit extrinsic messages (memory A writes) and the hard decision.
+      for (int e = 0; e < d; ++e) {
+        in = BitNodeIn{};
+        in.vnode_id = static_cast<unsigned>(bit);
+        in.ctrl = BnCtrl::kOutEn | BnCtrl::kValidIn;
+        in.edge_idx = static_cast<unsigned>(e);
+        in.degree = static_cast<unsigned>(d);
+        bn_.tick(in);
+        ++cycles_;
+        const BitNodeOut out = bn_.eval(in);
+        mem_b2c_[static_cast<std::size_t>(slotOf(col[static_cast<std::size_t>(e)], bit))] =
+            out.bn_msg;
+        res.word[static_cast<std::size_t>(bit)] = out.hard_bit;
+      }
+      if (d == 0) {
+        res.word[static_cast<std::size_t>(bit)] =
+            llr8[static_cast<std::size_t>(bit)] < 0 ? 1 : 0;
+      }
+    }
+
+    res.iterations = iter;
+    if (code_.checkWord(res.word)) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace corebist::ldpc

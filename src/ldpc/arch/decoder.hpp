@@ -1,0 +1,54 @@
+// Reconfigurable Serial LDPC decoder (paper §4, Fig. 7 / [15]).
+//
+// One physical BIT_NODE and one physical CHECK_NODE emulate every virtual
+// node of the code; the two interleaving memories carry the bit-to-check
+// and check-to-bit messages between the passes. This model drives the
+// *behavioural port-level models* of the two processing elements cycle by
+// cycle (start/flush/load/compute/out command sequences) — i.e. the decoder
+// is assembled from exactly the modules the BIST architecture tests — and
+// uses the CONTROL_UNIT-style schedule for address generation.
+//
+// Constraints inherited from the hardware: bit-node degree <= 4 (message
+// buffer depth) and check-row degree <= 64 (magnitude buffer depth).
+#ifndef COREBIST_LDPC_ARCH_DECODER_HPP_
+#define COREBIST_LDPC_ARCH_DECODER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/arch/bit_node.hpp"
+#include "ldpc/arch/check_node.hpp"
+#include "ldpc/code.hpp"
+#include "ldpc/msgpass.hpp"
+
+namespace corebist::ldpc {
+
+class SerialDecoder {
+ public:
+  SerialDecoder(const LdpcCode& code, int max_iters = 20,
+                StatementCoverage* bn_cov = nullptr,
+                StatementCoverage* cn_cov = nullptr);
+
+  /// Decode 8-bit channel LLRs (positive = bit 0 more likely).
+  [[nodiscard]] DecodeResult decode(const std::vector<int>& llr8);
+
+  /// Clock cycles consumed by the last decode (serial schedule).
+  [[nodiscard]] std::size_t cyclesSimulated() const noexcept {
+    return cycles_;
+  }
+
+ private:
+  const LdpcCode& code_;
+  int max_iters_;
+  BitNodeModel bn_;
+  CheckNodeModel cn_;
+  // Interleaving memories: one message slot per graph edge.
+  std::vector<int> mem_b2c_;  // bit -> check (memory A)
+  std::vector<int> mem_c2b_;  // check -> bit (memory B)
+  std::vector<int> edge_base_row_;  // first edge slot of each row
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace corebist::ldpc
+
+#endif  // COREBIST_LDPC_ARCH_DECODER_HPP_

@@ -1,0 +1,123 @@
+#include "ldpc/code.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace corebist::ldpc {
+
+LdpcCode::LdpcCode(const CodeParams& p) : n_(p.bit_nodes), m_(p.check_nodes) {
+  if (n_ < 4 || n_ > kMaxBitNodes) {
+    throw std::invalid_argument("LdpcCode: bit nodes out of range");
+  }
+  if (m_ < 2 || m_ >= n_ || m_ > kMaxCheckNodes) {
+    throw std::invalid_argument("LdpcCode: check nodes out of range");
+  }
+  if (p.dv < 2 || p.dv > m_) {
+    throw std::invalid_argument("LdpcCode: dv out of range");
+  }
+  rows_.resize(static_cast<std::size_t>(m_));
+  cols_.resize(static_cast<std::size_t>(n_));
+
+  std::mt19937_64 rng(p.seed);
+  const int k = n_ - m_;
+
+  auto addEdge = [this](int r, int b) {
+    auto& row = rows_[static_cast<std::size_t>(r)];
+    if (std::find(row.begin(), row.end(), b) != row.end()) return false;
+    row.push_back(b);
+    cols_[static_cast<std::size_t>(b)].push_back(r);
+    ++edges_;
+    return true;
+  };
+
+  // Information columns: dv distinct random rows per bit, balancing row
+  // degrees by always drawing from the least-loaded half.
+  for (int b = 0; b < k; ++b) {
+    int placed = 0;
+    int guard = 0;
+    while (placed < p.dv && guard < 1000) {
+      ++guard;
+      // Pick two candidate rows, keep the lighter one (power of two choices).
+      const int r1 = static_cast<int>(rng() % static_cast<std::uint64_t>(m_));
+      const int r2 = static_cast<int>(rng() % static_cast<std::uint64_t>(m_));
+      const int r = rows_[static_cast<std::size_t>(r1)].size() <=
+                            rows_[static_cast<std::size_t>(r2)].size()
+                        ? r1
+                        : r2;
+      if (addEdge(r, b)) ++placed;
+    }
+  }
+
+  // Parity columns form the lower-triangular T: bit k+r participates in
+  // row r (diagonal) and row r+1 (bidiagonal), giving every parity bit a
+  // cheap forward-substitution solve and every row a guaranteed pivot.
+  for (int r = 0; r < m_; ++r) {
+    addEdge(r, k + r);
+    if (r + 1 < m_) addEdge(r + 1, k + r);
+  }
+
+  for (auto& row : rows_) std::sort(row.begin(), row.end());
+  for (auto& col : cols_) std::sort(col.begin(), col.end());
+
+  for (int r = 0; r < m_; ++r) {
+    if (rows_[static_cast<std::size_t>(r)].size() < 2) {
+      // Degenerate row (can happen for tiny codes): tie it to two info bits.
+      addEdge(r, 0);
+      addEdge(r, 1 % n_);
+      std::sort(rows_[static_cast<std::size_t>(r)].begin(),
+                rows_[static_cast<std::size_t>(r)].end());
+    }
+  }
+}
+
+int LdpcCode::maxRowDegree() const {
+  std::size_t d = 0;
+  for (const auto& r : rows_) d = std::max(d, r.size());
+  return static_cast<int>(d);
+}
+
+int LdpcCode::maxColDegree() const {
+  std::size_t d = 0;
+  for (const auto& c : cols_) d = std::max(d, c.size());
+  return static_cast<int>(d);
+}
+
+std::vector<std::uint8_t> LdpcCode::encode(
+    const std::vector<std::uint8_t>& info) const {
+  const int k = n_ - m_;
+  if (static_cast<int>(info.size()) != k) {
+    throw std::invalid_argument("encode: info length must be k");
+  }
+  std::vector<std::uint8_t> word(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < k; ++i) word[static_cast<std::size_t>(i)] = info[static_cast<std::size_t>(i)] & 1u;
+  // Forward substitution over the lower-triangular parity part: row r
+  // determines parity bit k+r from already-known bits.
+  for (int r = 0; r < m_; ++r) {
+    int acc = 0;
+    for (const int b : rows_[static_cast<std::size_t>(r)]) {
+      if (b != k + r) acc ^= word[static_cast<std::size_t>(b)];
+    }
+    word[static_cast<std::size_t>(k + r)] = static_cast<std::uint8_t>(acc);
+  }
+  return word;
+}
+
+bool LdpcCode::checkWord(const std::vector<std::uint8_t>& word) const {
+  return syndromeWeight(word) == 0;
+}
+
+int LdpcCode::syndromeWeight(const std::vector<std::uint8_t>& word) const {
+  if (static_cast<int>(word.size()) != n_) {
+    throw std::invalid_argument("syndromeWeight: wrong word length");
+  }
+  int weight = 0;
+  for (const auto& row : rows_) {
+    int acc = 0;
+    for (const int b : row) acc ^= word[static_cast<std::size_t>(b)] & 1u;
+    weight += acc;
+  }
+  return weight;
+}
+
+}  // namespace corebist::ldpc

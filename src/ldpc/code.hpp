@@ -1,0 +1,77 @@
+// LDPC code construction (paper §4, Fig. 6).
+//
+// Low-Density Parity-Check codes are represented by a sparse bipartite
+// (Tanner) graph between Bit Nodes (codeword symbols) and Check Nodes
+// (parity constraints). The reconfigurable serial decoder of the case study
+// supports codes "of different sizes and rates, up to a maximum of 512
+// check nodes and 1,024 bit nodes"; those are the hard limits here too.
+//
+// For systematic encoding the parity-check matrix is built in the form
+// H = [A | T] with T lower triangular (unit diagonal), so parity bits are
+// computed by forward substitution. Bit-node degrees are kept small
+// (2..dv_max) and check rows are filled pseudo-randomly from a seed, giving
+// reproducible Gallager-style codes.
+#ifndef COREBIST_LDPC_CODE_HPP_
+#define COREBIST_LDPC_CODE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace corebist::ldpc {
+
+inline constexpr int kMaxCheckNodes = 512;
+inline constexpr int kMaxBitNodes = 1024;
+
+struct CodeParams {
+  int bit_nodes = 96;    // n, codeword length
+  int check_nodes = 48;  // m, parity constraints
+  int dv = 3;            // target bit-node degree (information part)
+  std::uint64_t seed = 1;
+};
+
+class LdpcCode {
+ public:
+  /// Construct a reproducible pseudo-random code with a lower-triangular
+  /// parity part. Throws on out-of-range parameters.
+  explicit LdpcCode(const CodeParams& p);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] int k() const noexcept { return n_ - m_; }
+  [[nodiscard]] int edgeCount() const noexcept { return edges_; }
+
+  /// Bit positions checked by row r (sorted).
+  [[nodiscard]] const std::vector<int>& row(int r) const {
+    return rows_[static_cast<std::size_t>(r)];
+  }
+  /// Check rows containing bit b (sorted).
+  [[nodiscard]] const std::vector<int>& col(int b) const {
+    return cols_[static_cast<std::size_t>(b)];
+  }
+
+  [[nodiscard]] int maxRowDegree() const;
+  [[nodiscard]] int maxColDegree() const;
+
+  /// Systematic encode: `info` has k() bits; returns n() bits (info first,
+  /// parity last) satisfying every check.
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      const std::vector<std::uint8_t>& info) const;
+
+  /// True iff `word` satisfies all m() parity checks.
+  [[nodiscard]] bool checkWord(const std::vector<std::uint8_t>& word) const;
+
+  /// Number of unsatisfied checks (syndrome weight).
+  [[nodiscard]] int syndromeWeight(
+      const std::vector<std::uint8_t>& word) const;
+
+ private:
+  int n_;
+  int m_;
+  int edges_ = 0;
+  std::vector<std::vector<int>> rows_;
+  std::vector<std::vector<int>> cols_;
+};
+
+}  // namespace corebist::ldpc
+
+#endif  // COREBIST_LDPC_CODE_HPP_

@@ -1,0 +1,29 @@
+// Gate-level structural generators for the three LDPC decoder modules
+// (paper Table 1 port geometry: 54/55, 53/53, 45/44).
+//
+// Each generator emits a synchronous netlist that is bit-exact with the
+// corresponding behavioural model in ldpc/arch/ — the same architectural
+// state, the same combinational semantics, clocked by SeqSim::step().
+// tests/ldpc_equiv_test.cpp sweeps randomized stimulus over both and
+// requires identical outputs every cycle; every DfT experiment of the paper
+// (fault coverage, area, timing, diagnosis) runs on these netlists.
+#ifndef COREBIST_LDPC_GATELEVEL_HPP_
+#define COREBIST_LDPC_GATELEVEL_HPP_
+
+#include "netlist/netlist.hpp"
+
+namespace corebist::ldpc {
+
+/// BIT_NODE: 54 inputs / 55 outputs, ~80 flip-flops.
+[[nodiscard]] Netlist buildBitNode();
+
+/// CHECK_NODE: 53 inputs / 53 outputs, 64-entry buffers + window networks
+/// (the big module: hundreds of flip-flops, tens of thousands of gates).
+[[nodiscard]] Netlist buildCheckNode();
+
+/// CONTROL_UNIT: 45 inputs / 44 outputs, ~40 flip-flops.
+[[nodiscard]] Netlist buildControlUnit();
+
+}  // namespace corebist::ldpc
+
+#endif  // COREBIST_LDPC_GATELEVEL_HPP_

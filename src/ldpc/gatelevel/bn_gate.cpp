@@ -1,0 +1,163 @@
+// Gate-level BIT_NODE (bit-exact with ldpc/arch/bit_node.cpp).
+#include "ldpc/arch/bit_node.hpp"
+#include "ldpc/gatelevel.hpp"
+#include "ldpc/gatelevel_common.hpp"
+
+namespace corebist::ldpc {
+
+using namespace gl;
+
+Netlist buildBitNode() {
+  Netlist nl("BIT_NODE");
+  Builder b(nl);
+
+  // -- Ports (order must match packBitNodeIn / packBitNodeOut) -------------
+  const Bus cn_msg = b.input("cn_msg", 8);
+  const Bus ch_llr = b.input("ch_llr", 8);
+  const Bus edge_idx = b.input("edge_idx", 6);
+  const Bus degree = b.input("degree", 6);
+  const Bus path_sel = b.input("path_sel", 4);
+  const Bus vnode_id = b.input("vnode_id", 10);
+  const Bus ctrl = b.input("ctrl", 12);
+
+  const NetId start = ctrl[0];
+  const NetId acc_en = ctrl[1];
+  const NetId out_en = ctrl[2];
+  const NetId load_llr = ctrl[3];
+  const NetId flush = ctrl[4];
+  const NetId sgn_force = ctrl[7];
+  const NetId valid_in = ctrl[10];
+  const NetId n_start = b.not1(start);
+
+  // -- State ---------------------------------------------------------------
+  const Bus acc = b.state("acc", 12);
+  const Bus llr_reg = b.state("llr_reg", 8);
+  std::vector<Bus> msg_buf;
+  for (int e = 0; e < 4; ++e) {
+    msg_buf.push_back(b.state("msg_buf" + std::to_string(e), 8));
+  }
+  const Bus out_msg = b.state("out_msg", 8);
+  const Bus out_valid = b.state("out_valid", 1);
+  const Bus edge_echo = b.state("edge_echo", 6);
+  const Bus vnode_echo = b.state("vnode_echo", 10);
+  const Bus flags = b.state("flags", 5);
+  const Bus parity = b.state("parity", 1);
+
+  // -- Input conditioning: width mode then scaling --------------------------
+  // applyWidthMode: saturate to {8,6,4,3} bits by path_sel[1:0].
+  std::vector<Bus> widths;
+  widths.push_back(cn_msg);
+  widths.push_back(satToBitsSigned(b, cn_msg, 6));
+  widths.push_back(satToBitsSigned(b, cn_msg, 4));
+  widths.push_back(satToBitsSigned(b, cn_msg, 3));
+  const Bus masked = b.muxN(widths, Builder::slice(path_sel, 0, 2));
+  // applyScale: {x1, x0.75, x0.5, 0} by path_sel[3:2].
+  std::vector<Bus> scales;
+  scales.push_back(masked);
+  scales.push_back(b.sub(masked, asr(masked, 2)));
+  scales.push_back(asr(masked, 1));
+  scales.push_back(b.constant(8, 0));
+  const Bus scaled = b.muxN(scales, Builder::slice(path_sel, 2, 2));
+
+  // -- Accumulator ----------------------------------------------------------
+  const SatAdd accadd = satAddOvf(b, acc, sext(scaled, 12));
+  const NetId sat_event = b.and2(b.and2(acc_en, n_start), accadd.ovf);
+  Bus acc_next = b.mux(acc, accadd.sum, acc_en);
+  acc_next = b.mux(acc_next, sext(ch_llr, 12), start);
+  b.connect(acc, acc_next);
+
+  // -- LLR register ----------------------------------------------------------
+  b.connectEn(llr_reg, ch_llr, load_llr);
+
+  // -- Message buffer (4 x 8), flush clears, accumulate phase writes --------
+  const Bus sel2 = Builder::slice(edge_idx, 0, 2);
+  const Bus sel_onehot = b.decode(sel2);
+  const Bus buf_wdata = b.mux(scaled, b.constant(8, 0), flush);
+  for (int e = 0; e < 4; ++e) {
+    const NetId we = b.or2(
+        flush, b.and2(b.and2(acc_en, n_start), sel_onehot[static_cast<std::size_t>(e)]));
+    b.connectEn(msg_buf[static_cast<std::size_t>(e)], buf_wdata, we);
+  }
+
+  // -- Parallel extrinsic lanes with full output conditioning -----------------
+  const Bus total8 = Builder::slice(satToBitsSigned(b, acc, 8), 0, 8);
+  std::vector<Bus> lanes;
+  Bus lane_signs;
+  for (int e = 0; e < 4; ++e) {
+    const Bus diff9 =
+        b.sub(sext(total8, 9), sext(msg_buf[static_cast<std::size_t>(e)], 9));
+    const Bus ext = Builder::slice(satToBitsSigned(b, diff9, 8), 0, 8);
+    // Per-lane width mode + scaling (mirrors the input conditioning).
+    std::vector<Bus> lw;
+    lw.push_back(ext);
+    lw.push_back(satToBitsSigned(b, ext, 6));
+    lw.push_back(satToBitsSigned(b, ext, 4));
+    lw.push_back(satToBitsSigned(b, ext, 3));
+    const Bus lmask = b.muxN(lw, Builder::slice(path_sel, 0, 2));
+    std::vector<Bus> ls;
+    ls.push_back(lmask);
+    ls.push_back(b.sub(lmask, asr(lmask, 2)));
+    ls.push_back(asr(lmask, 1));
+    ls.push_back(b.constant(8, 0));
+    const Bus cond = b.muxN(ls, Builder::slice(path_sel, 2, 2));
+    lanes.push_back(cond);
+    lane_signs.push_back(cond.back());
+  }
+  const NetId lane_par = b.reduceXor(lane_signs);
+  const Bus selected = b.muxN(lanes, sel2);
+
+  // -- Output register --------------------------------------------------------
+  const Bus out_val = b.mux(selected, negSat(b, selected), sgn_force);
+  b.connectEn(out_msg, out_val, out_en);
+  b.connect(out_valid, Bus{b.and2(out_en, valid_in)});
+
+  // -- Parity accumulator ------------------------------------------------------
+  const NetId hard_old = acc.back();
+  const NetId par_upd = b.and2(out_en, valid_in);
+  Bus par_next = Bus{b.mux(parity[0], b.xor2(parity[0], hard_old), par_upd)};
+  par_next = b.mux(par_next, b.constant(1, 0), start);
+  b.connect(parity, par_next);
+
+  // -- Echo registers ------------------------------------------------------------
+  const NetId echo_en = b.or2(acc_en, out_en);
+  b.connectEn(edge_echo, edge_idx, echo_en);
+  b.connectEn(vnode_echo, vnode_id, echo_en);
+
+  // -- Sticky flags: {sat, msg_zero, last_edge, acc_sign, lane_par} -----------
+  const NetId msg_zero = b.and2(b.and2(acc_en, n_start),
+                                b.eqConst(scaled, 0));
+  const Bus deg_m1 = b.sub(degree, b.constant(6, 1));
+  const NetId last_edge =
+      b.and2(b.and2(echo_en, b.not1(b.eqConst(degree, 0))),
+             b.eq(edge_idx, deg_m1));
+  Bus flags_next;
+  flags_next.push_back(b.or2(flags[0], sat_event));
+  flags_next.push_back(b.or2(flags[1], msg_zero));
+  flags_next.push_back(b.or2(flags[2], b.and2(last_edge, n_start)));
+  flags_next.push_back(hard_old);
+  flags_next.push_back(lane_par);
+  flags_next = b.mux(b.constant(5, 0), flags_next, n_start);
+  b.connect(flags, flags_next);
+
+  // -- Outputs (order must match packBitNodeOut) -------------------------------
+  b.output("bn_msg", out_msg);
+  b.output("hard_bit", Bus{acc.back()});
+  b.output("soft_out", acc);
+  b.output("out_edge", edge_echo);
+  b.output("out_vnode", vnode_echo);
+  Bus state_dbg = Builder::slice(llr_reg, 0, 6);
+  {
+    const Bus hi = Builder::slice(msg_buf[0], 4, 4);
+    state_dbg.insert(state_dbg.end(), hi.begin(), hi.end());
+  }
+  b.output("state_dbg", state_dbg);
+  b.output("flags", flags);
+  b.output("valid_out", out_valid);
+  b.output("ready", Bus{b.not1(b.or2(acc_en, out_en))});
+  b.output("parity_out", parity);
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace corebist::ldpc

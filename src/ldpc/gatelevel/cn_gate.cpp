@@ -1,0 +1,263 @@
+// Gate-level CHECK_NODE (bit-exact with ldpc/arch/check_node.cpp).
+#include "ldpc/arch/check_node.hpp"
+#include "ldpc/gatelevel.hpp"
+#include "ldpc/gatelevel_common.hpp"
+
+namespace corebist::ldpc {
+
+using namespace gl;
+
+Netlist buildCheckNode() {
+  Netlist nl("CHECK_NODE");
+  Builder b(nl);
+
+  // -- Ports (order matches packCheckNodeIn / packCheckNodeOut) -------------
+  const Bus bn_msg = b.input("bn_msg", 8);
+  const Bus edge_idx = b.input("edge_idx", 6);
+  const Bus row_deg = b.input("row_deg", 6);
+  const Bus path_sel = b.input("path_sel", 4);
+  const Bus cnode_id = b.input("cnode_id", 9);
+  const Bus offset = b.input("offset", 8);
+  const Bus ctrl = b.input("ctrl", 12);
+
+  const NetId start = ctrl[0];
+  const NetId load = ctrl[1];
+  const NetId compute = ctrl[2];
+  const NetId out_en = ctrl[3];
+  const NetId flush = ctrl[4];
+  const NetId use_offset = ctrl[5];
+  const NetId use_norm = ctrl[6];
+  const NetId clr_parity = ctrl[7];
+  const NetId valid_in = ctrl[8];
+  const NetId win_hi = ctrl[10];
+  const NetId n_start = b.not1(start);
+
+  // -- State -----------------------------------------------------------------
+  std::vector<Bus> mag_buf;
+  Bus sign_buf;
+  for (int e = 0; e < kCnBufSize; ++e) {
+    mag_buf.push_back(b.state("mag" + std::to_string(e), 8));
+    sign_buf.push_back(b.state("sgn" + std::to_string(e), 1)[0]);
+  }
+  // Free-running window pipeline registers (values + base per lane).
+  std::vector<std::vector<Bus>> win_val(kCnLanes);
+  std::vector<Bus> win_base;
+  for (int l = 0; l < kCnLanes; ++l) {
+    for (int i = 0; i < kCnWindow; ++i) {
+      win_val[static_cast<std::size_t>(l)].push_back(
+          b.state("win" + std::to_string(l) + "_" + std::to_string(i), 8));
+    }
+    win_base.push_back(b.state("winbase" + std::to_string(l), 6));
+  }
+  const Bus min1 = b.state("min1", 8);
+  const Bus min2 = b.state("min2", 8);
+  const Bus argmin = b.state("argmin", 6);
+  const Bus sign_prod = b.state("sign_prod", 1);
+  const Bus offset_reg = b.state("offset_reg", 7);
+  const Bus out_msg = b.state("out_msg", 8);
+  const Bus out_valid = b.state("out_valid", 1);
+  const Bus edge_echo = b.state("edge_echo", 6);
+  const Bus cnode_echo = b.state("cnode_echo", 9);
+  const Bus flags = b.state("flags", 4);
+
+  // -- Magnitude/sign split ---------------------------------------------------
+  const NetId sign_in = bn_msg.back();
+  // |v| with -128 clamped to 127: |v| in 9 bits, then unsigned clamp at 127.
+  const Bus abs9 = b.absSigned(sext(bn_msg, 9));
+  const NetId over127 = abs9[7];  // 128 is the only value with bit7 set
+  Bus mag_sat;
+  for (int i = 0; i < 7; ++i) {
+    mag_sat.push_back(b.or2(abs9[static_cast<std::size_t>(i)], over127));
+  }
+  mag_sat.push_back(b.lo());  // bit 7 always 0 after the clamp
+  // widthClampMag: limits {127,31,7,3} by path_sel[1:0] (min(mag, lim)).
+  std::vector<Bus> clamps;
+  for (const unsigned lim : {127u, 31u, 7u, 3u}) {
+    const Bus limb = b.constant(8, lim);
+    const NetId gt = b.ltU(limb, mag_sat);
+    clamps.push_back(b.mux(mag_sat, limb, gt));
+  }
+  const Bus mag_w = b.muxN(clamps, Builder::slice(path_sel, 0, 2));
+  const NetId sat_mag_now = b.not1(b.eq(mag_w, mag_sat));
+
+  // -- Buffer writes ------------------------------------------------------------
+  const NetId load_eff = b.and2(b.and2(load, n_start), b.not1(flush));
+  const Bus onehot = b.decode(edge_idx);
+  const Bus mag_wdata = b.mux(mag_w, b.constant(8, 127), flush);
+  const NetId sign_wdata = b.and2(sign_in, b.not1(flush));
+  for (int e = 0; e < kCnBufSize; ++e) {
+    const NetId we =
+        b.or2(flush, b.and2(load_eff, onehot[static_cast<std::size_t>(e)]));
+    b.connectEn(mag_buf[static_cast<std::size_t>(e)], mag_wdata, we);
+    nl.connectDff(sign_buf[static_cast<std::size_t>(e)],
+                  b.mux(sign_buf[static_cast<std::size_t>(e)], sign_wdata, we));
+  }
+
+  // -- Sign product ---------------------------------------------------------------
+  {
+    const NetId cleared = b.or2(start, clr_parity);
+    const NetId held = b.and2(sign_prod[0], b.not1(cleared));
+    const NetId loaded = b.xor2(sign_prod[0], sign_in);
+    nl.connectDff(sign_prod[0], b.mux(held, loaded, load_eff));
+  }
+
+  // -- Offset register ----------------------------------------------------------
+  b.connectEn(offset_reg, Builder::slice(offset, 0, 7), start);
+
+  // -- Window pipeline capture (every cycle) -----------------------------------
+  for (int l = 0; l < kCnLanes; ++l) {
+    Bus base = edge_idx;
+    if (l == 1) {
+      base = b.add(edge_idx, b.mux(b.constant(6, 16), b.constant(6, 48),
+                                   win_hi));
+    }
+    b.connect(win_base[static_cast<std::size_t>(l)], base);
+    for (int i = 0; i < kCnWindow; ++i) {
+      const Bus bi = b.add(base, b.constant(6, static_cast<unsigned>(i)));
+      b.connect(win_val[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+                b.muxN(mag_buf, bi));
+    }
+  }
+
+  // -- Tournament networks over the registered windows -------------------------
+  struct Triple {
+    Bus m1;
+    Bus m2;
+    Bus idx;
+  };
+  auto mergeTriple = [&](const Triple& x, const Triple& y) {
+    const NetId take = b.ltU(y.m1, x.m1);
+    Triple r;
+    r.m1 = b.mux(x.m1, y.m1, take);
+    r.idx = b.mux(x.idx, y.idx, take);
+    const Bus m2_keep = b.minU(x.m2, y.m1).first;
+    const Bus m2_take = b.minU(x.m1, y.m2).first;
+    r.m2 = b.mux(m2_keep, m2_take, take);
+    return r;
+  };
+  // Pairing order replicates cnTournament exactly.
+  auto tournament = [&](std::vector<Triple> layer) {
+    while (layer.size() > 1) {
+      std::vector<Triple> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+        next.push_back(mergeTriple(layer[i], layer[i + 1]));
+      }
+      if (layer.size() % 2 != 0) next.push_back(layer.back());
+      layer = std::move(next);
+    }
+    return layer.front();
+  };
+  std::vector<Triple> lane_result;
+  for (int l = 0; l < kCnLanes; ++l) {
+    std::vector<Triple> leaves;
+    for (int i = 0; i < kCnWindow; ++i) {
+      leaves.push_back(Triple{
+          win_val[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+          b.constant(8, 0xFF),
+          b.add(win_base[static_cast<std::size_t>(l)],
+                b.constant(6, static_cast<unsigned>(i)))});
+    }
+    lane_result.push_back(tournament(std::move(leaves)));
+  }
+  Triple merged{min1, min2, argmin};
+  for (int l = 0; l < kCnLanes; ++l) {
+    merged = mergeTriple(merged, lane_result[static_cast<std::size_t>(l)]);
+  }
+  const Bus merged_m1 = merged.m1;
+  const Bus merged_m2 = merged.m2;
+  const Bus merged_idx = merged.idx;
+  const NetId tie_now = b.eq(lane_result[0].m1, lane_result[1].m1);
+  const NetId compute_eff = b.and2(compute, n_start);
+
+  auto minReg = [&](const Bus& q, const Bus& merged, const Bus& start_val) {
+    Bus next = b.mux(q, merged, compute_eff);
+    next = b.mux(next, start_val, start);
+    b.connect(q, next);
+  };
+  minReg(min1, merged_m1, b.constant(8, 0xFF));
+  minReg(min2, merged_m2, b.constant(8, 0xFF));
+  minReg(argmin, merged_idx, b.constant(6, 0));
+
+  // -- Output phase -----------------------------------------------------------------
+  const NetId is_argmin = b.eq(edge_idx, argmin);
+  Bus mag = b.mux(min1, min2, is_argmin);
+  // Offset correction (saturating unsigned subtract).
+  const Bus off8 = [&] {
+    Bus v = offset_reg;
+    v.push_back(b.lo());
+    return v;
+  }();
+  const NetId uflow = b.ltU(mag, off8);
+  const NetId offset_uflow = b.and2(b.and2(out_en, use_offset), uflow);
+  const Bus off_sub = b.sub(mag, off8);
+  mag = b.mux(mag, b.mux(off_sub, b.constant(8, 0), uflow), use_offset);
+  // Normalization x0.75.
+  mag = b.mux(mag, b.sub(mag, lsr(b, mag, 2)), use_norm);
+  // path_sel scaling.
+  std::vector<Bus> scales;
+  scales.push_back(mag);
+  scales.push_back(b.sub(mag, lsr(b, mag, 2)));
+  scales.push_back(lsr(b, mag, 1));
+  scales.push_back(b.constant(8, 0));
+  mag = b.muxN(scales, Builder::slice(path_sel, 2, 2));
+  // Clamp to 127 (bit 7 set means > 127 for these unsigned values).
+  mag = b.mux(mag, b.constant(8, 127), mag.back());
+  // Re-sign.
+  const NetId sgn = b.xor2(sign_prod[0], b.muxN(
+      [&] {
+        std::vector<Bus> s;
+        for (int e = 0; e < kCnBufSize; ++e) {
+          s.push_back(Bus{sign_buf[static_cast<std::size_t>(e)]});
+        }
+        return s;
+      }(),
+      edge_idx)[0]);
+  const Bus signed_out = b.mux(mag, b.neg(mag), sgn);
+  b.connectEn(out_msg, signed_out, out_en);
+  b.connect(out_valid, Bus{b.and2(out_en, valid_in)});
+
+  // -- Echo registers -------------------------------------------------------------
+  const NetId echo_en = b.or2(b.or2(load, compute), out_en);
+  b.connectEn(edge_echo, edge_idx, echo_en);
+  b.connectEn(cnode_echo, cnode_id, echo_en);
+
+  // -- Sticky flags {tie, last_edge, offset_uflow, sat_mag} -------------------------
+  const Bus deg_m1 = b.sub(row_deg, b.constant(6, 1));
+  const NetId last_edge =
+      b.and2(b.and2(b.or2(load, out_en), b.not1(b.eqConst(row_deg, 0))),
+             b.eq(edge_idx, deg_m1));
+  Bus flags_next;
+  flags_next.push_back(b.or2(flags[0], b.and2(compute_eff, tie_now)));
+  flags_next.push_back(b.or2(flags[1], last_edge));
+  flags_next.push_back(b.or2(flags[2], offset_uflow));
+  flags_next.push_back(b.or2(flags[3], b.and2(load_eff, sat_mag_now)));
+  flags_next = b.mux(b.constant(4, 0), flags_next, n_start);
+  b.connect(flags, flags_next);
+
+  // Observation mode: XOR folds of the window pipelines on the debug bytes.
+  const NetId dbg = ctrl[11];
+  Bus fold0 = win_val[0][0];
+  Bus fold1 = win_val[1][0];
+  for (int i = 1; i < kCnWindow; ++i) {
+    fold0 = b.bw(GateType::kXor, fold0, win_val[0][static_cast<std::size_t>(i)]);
+    fold1 = b.bw(GateType::kXor, fold1, win_val[1][static_cast<std::size_t>(i)]);
+  }
+
+  // -- Outputs (order matches packCheckNodeOut) --------------------------------------
+  b.output("cn_msg", out_msg);
+  b.output("out_edge", edge_echo);
+  b.output("out_cnode", cnode_echo);
+  b.output("parity_ok", Bus{b.not1(sign_prod[0])});
+  b.output("min1_dbg", b.mux(min1, fold0, dbg));
+  b.output("min2_dbg", b.mux(min2, fold1, dbg));
+  b.output("sign_dbg", sign_prod);
+  b.output("argmin_dbg", argmin);
+  b.output("flags", flags);
+  b.output("valid_out", out_valid);
+  b.output("ready", Bus{b.not1(b.or2(b.or2(load, compute), out_en))});
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace corebist::ldpc

@@ -1,0 +1,182 @@
+// Gate-level CONTROL_UNIT (bit-exact with ldpc/arch/control_unit.cpp).
+#include "ldpc/arch/control_unit.hpp"
+#include "ldpc/gatelevel.hpp"
+#include "ldpc/gatelevel_common.hpp"
+
+namespace corebist::ldpc {
+
+using namespace gl;
+
+namespace {
+/// Rotate-right on an arbitrary-width bus by a constant (no gates).
+Bus rotr(const Bus& v, int k) {
+  const int w = static_cast<int>(v.size());
+  Bus out;
+  for (int i = 0; i < w; ++i) {
+    out.push_back(v[static_cast<std::size_t>((i + k) % w)]);
+  }
+  return out;
+}
+}  // namespace
+
+Netlist buildControlUnit() {
+  Netlist nl("CONTROL_UNIT");
+  Builder b(nl);
+
+  // -- Ports (order matches packControlUnitIn / packControlUnitOut) ----------
+  const Bus cfg_nbits = b.input("cfg_nbits", 10);
+  const Bus cfg_mrows = b.input("cfg_mrows", 9);
+  const Bus cfg_iters = b.input("cfg_iters", 5);
+  const Bus mode = b.input("mode", 3);
+  const NetId start = b.input("start", 1)[0];
+  const NetId halt = b.input("halt", 1)[0];
+  const NetId ext_pf = b.input("ext_parity_fail", 1)[0];
+  const NetId mem_ready = b.input("mem_ready", 1)[0];
+  const Bus edge_count = b.input("edge_count", 10);
+  const NetId step_en = b.input("step_en", 1)[0];
+  const NetId clr_stats = b.input("clr_stats", 1)[0];
+  const Bus dbg_sel = b.input("dbg_sel", 2);
+
+  // -- State ------------------------------------------------------------------
+  const Bus edge_cnt = b.state("edge_cnt", 10);
+  const Bus node_cnt = b.state("node_cnt", 7);
+  const Bus iter_cnt = b.state("iter_cnt", 5);
+  const Bus phase = b.state("phase", 2);
+  const Bus addr_b = b.state("addr_b", 10);
+  const Bus busy = b.state("busy", 1);
+  const Bus done = b.state("done", 1);
+  const Bus stats = b.state("stats", 6);
+
+  const NetId free_run = mode[2];
+  const NetId halting = b.and2(halt, busy[0]);
+  const NetId can_step = b.and2(b.and2(busy[0], step_en),
+                                b.or2(mem_ready, free_run));
+  const NetId mem_wait = b.and2(b.and2(busy[0], step_en),
+                                b.and2(b.not1(mem_ready), b.not1(free_run)));
+  // Priority: start > halting > (can_step / stall).
+  const NetId n_start = b.not1(start);
+  const NetId halt_eff = b.and2(halting, n_start);
+  const NetId step_eff = b.and2(b.and2(can_step, n_start), b.not1(halt_eff));
+  const NetId stall_eff =
+      b.and2(b.and2(b.not1(can_step), n_start), b.not1(halt_eff));
+
+  // -- Stride accumulator (interleaved address) ---------------------------------
+  const Bus stride = [&] {
+    std::vector<Bus> strides = {b.constant(10, 1), b.constant(10, 3),
+                                b.constant(10, 7), b.constant(10, 11)};
+    return b.muxN(strides, Builder::slice(mode, 0, 2));
+  }();
+  Bus nb = cfg_nbits;
+  nb = b.mux(nb, b.constant(10, 1), b.eqConst(cfg_nbits, 0));
+  // 11-bit intermediate sum: {0, addr_b} + {0, stride}.
+  const Bus a_sum = [&] {
+    Bus aw = addr_b;
+    aw.push_back(b.lo());
+    Bus sw = stride;
+    sw.push_back(b.lo());
+    return b.add(aw, sw);
+  }();
+  Bus nb11 = nb;
+  nb11.push_back(b.lo());
+  const NetId a_ge_nb = b.not1(b.ltU(a_sum, nb11));
+  const Bus a_mod = Builder::slice(
+      b.mux(a_sum, b.sub(a_sum, nb11), a_ge_nb), 0, 10);
+
+  // -- Edge wrap ------------------------------------------------------------------
+  const Bus ec_m1 = b.sub(edge_count, b.constant(10, 1));
+  const Bus ec_max = b.mux(ec_m1, b.constant(10, 0),
+                           b.eqConst(edge_count, 0));
+  const NetId edge_wrap = b.not1(b.ltU(edge_cnt, ec_max));
+
+  // -- Phase / iteration logic -------------------------------------------------
+  const NetId ph_is1 = b.eqConst(phase, 1);
+  const NetId ph_is2 = b.eqConst(phase, 2);
+  const Bus iter_inc = b.inc(iter_cnt);
+  const NetId iter_done = b.not1(b.ltU(iter_inc, cfg_iters));
+  const NetId early_stop = b.and2(b.not1(ext_pf), stats[0]);
+  const NetId finish = b.and2(edge_wrap,
+                              b.and2(b.not1(ph_is1), b.not1(ph_is2)));
+  const NetId stop_all = b.and2(finish, b.or2(iter_done, early_stop));
+
+  Bus phase_wrapped = b.constant(2, 1);  // default: back to CN pass
+  phase_wrapped = b.mux(phase_wrapped, b.constant(2, 0), stop_all);
+  phase_wrapped = b.mux(phase_wrapped, b.constant(2, 3), ph_is2);
+  phase_wrapped = b.mux(phase_wrapped, b.constant(2, 2), ph_is1);
+
+  // -- Next-state assembly --------------------------------------------------------
+  auto pick = [&](const Bus& hold, const Bus& stepped, const Bus& started) {
+    Bus v = b.mux(hold, stepped, step_eff);
+    return b.mux(v, started, start);
+  };
+
+  const Bus edge_inc = b.inc(edge_cnt);
+  const Bus edge_stepped = b.mux(edge_inc, b.constant(10, 0), edge_wrap);
+  b.connect(edge_cnt, pick(edge_cnt, edge_stepped, b.constant(10, 0)));
+
+  const NetId node_tick =
+      b.and2(b.not1(edge_wrap), b.eqConst(Builder::slice(edge_inc, 0, 3), 0));
+  Bus node_stepped = b.mux(node_cnt, b.inc(node_cnt), node_tick);
+  node_stepped = b.mux(node_stepped, b.constant(7, 0), edge_wrap);
+  b.connect(node_cnt, pick(node_cnt, node_stepped, b.constant(7, 0)));
+
+  const Bus iter_stepped = b.mux(iter_cnt, iter_inc, finish);
+  b.connect(iter_cnt, pick(iter_cnt, iter_stepped, b.constant(5, 0)));
+
+  const Bus phase_stepped = b.mux(phase, phase_wrapped, edge_wrap);
+  b.connect(phase, pick(phase, phase_stepped, b.constant(2, 1)));
+
+  const Bus addrb_stepped = b.mux(a_mod, b.constant(10, 0), edge_wrap);
+  b.connect(addr_b, pick(addr_b, addrb_stepped, b.constant(10, 0)));
+
+  Bus busy_next = b.mux(busy, Bus{b.and2(busy[0], b.not1(stop_all))},
+                        step_eff);
+  busy_next = b.mux(busy_next, b.constant(1, 0), halt_eff);
+  busy_next = b.mux(busy_next, b.constant(1, 1), start);
+  b.connect(busy, busy_next);
+
+  Bus done_next = b.mux(done, Bus{b.or2(done[0], stop_all)}, step_eff);
+  done_next = b.mux(done_next, b.constant(1, 0), start);
+  b.connect(done, done_next);
+
+  // -- Sticky stats ------------------------------------------------------------
+  const Bus stats_base = b.mux(stats, b.constant(6, 0), clr_stats);
+  const NetId node_ovf = b.and2(
+      b.not1(b.ltU(node_cnt, Builder::slice(cfg_mrows, 0, 7))), ph_is1);
+  Bus stats_next = stats_base;
+  stats_next[1] = b.or2(stats_next[1], halt_eff);
+  stats_next[4] = b.or2(stats_next[4], b.and2(stall_eff, mem_wait));
+  const Bus stats_stepped = [&] {
+    Bus v = stats_next;
+    v[0] = b.or2(v[0], ext_pf);
+    v[2] = b.or2(v[2], a_ge_nb);
+    v[3] = b.or2(v[3], node_ovf);
+    return v;
+  }();
+  Bus stats_final = b.mux(stats_next, stats_stepped, step_eff);
+  b.connect(stats, stats_final);
+
+  // -- Outputs (order matches packControlUnitOut) --------------------------------
+  const NetId gate = b.and2(b.and2(b.or2(mem_ready, free_run), busy[0]),
+                            step_en);
+  b.output("mem_addr_a", edge_cnt);
+  b.output("mem_addr_b", addr_b);
+  b.output("we_a", Bus{b.and2(gate, ph_is1)});
+  b.output("we_b", Bus{b.and2(gate, ph_is2)});
+  b.output("node_sel", node_cnt);
+  b.output("phase", phase);
+  b.output("iter_cnt", iter_cnt);
+  b.output("busy", busy);
+  b.output("done", done);
+  // stat_flag: rotate-right by dbg_sel, low 5 bits, busy mirrored on bit 5.
+  Bus rot = stats;
+  rot = b.mux(rot, rotr(rot, 1), dbg_sel[0]);
+  rot = b.mux(rot, rotr(rot, 2), dbg_sel[1]);
+  Bus stat_flag = Builder::slice(rot, 0, 5);
+  stat_flag.push_back(busy[0]);
+  b.output("stat_flag", stat_flag);
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace corebist::ldpc

@@ -1,0 +1,152 @@
+#include "ldpc/msgpass.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace corebist::ldpc {
+
+int satClamp(int v, int bits) {
+  const int hi = (1 << (bits - 1)) - 1;
+  const int lo = -(1 << (bits - 1));
+  return std::clamp(v, lo, hi);
+}
+
+int satAdd(int a, int b, int bits) { return satClamp(a + b, bits); }
+
+DecodeResult decodeMinSum(const LdpcCode& code, const std::vector<double>& llr,
+                          const MinSumParams& p) {
+  if (static_cast<int>(llr.size()) != code.n()) {
+    throw std::invalid_argument("decodeMinSum: wrong LLR length");
+  }
+  const int n = code.n();
+  const int m = code.m();
+  // Messages keyed by (row, position-in-row).
+  std::vector<std::vector<double>> c2b(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    c2b[static_cast<std::size_t>(r)].assign(code.row(r).size(), 0.0);
+  }
+
+  DecodeResult res;
+  res.word.assign(static_cast<std::size_t>(n), 0);
+  std::vector<double> total(llr);
+
+  for (int iter = 1; iter <= p.max_iters; ++iter) {
+    // Check-node update from current bit totals (extrinsic).
+    for (int r = 0; r < m; ++r) {
+      const auto& row = code.row(r);
+      auto& out = c2b[static_cast<std::size_t>(r)];
+      // Bit-to-check = total - previous check-to-bit.
+      double min1 = 1e300;
+      double min2 = 1e300;
+      int argmin = -1;
+      int sign_prod = 1;
+      std::vector<double> b2c(row.size());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const double v = total[static_cast<std::size_t>(row[i])] - out[i];
+        b2c[i] = v;
+        const double mag = std::abs(v);
+        if (v < 0) sign_prod = -sign_prod;
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          argmin = static_cast<int>(i);
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const double mag =
+            p.normalization * (static_cast<int>(i) == argmin ? min2 : min1);
+        int sign = sign_prod;
+        if (b2c[i] < 0) sign = -sign;
+        const double nv = sign < 0 ? -mag : mag;
+        // Update totals incrementally: replace old message with new.
+        total[static_cast<std::size_t>(row[i])] += nv - out[i];
+        out[i] = nv;
+      }
+    }
+    for (int bit = 0; bit < n; ++bit) {
+      res.word[static_cast<std::size_t>(bit)] =
+          total[static_cast<std::size_t>(bit)] < 0 ? 1 : 0;
+    }
+    res.iterations = iter;
+    if (code.checkWord(res.word)) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+DecodeResult decodeMinSumFixed(const LdpcCode& code,
+                               const std::vector<int>& llr8, int max_iters) {
+  if (static_cast<int>(llr8.size()) != code.n()) {
+    throw std::invalid_argument("decodeMinSumFixed: wrong LLR length");
+  }
+  constexpr int kBits = 8;
+  const int n = code.n();
+  const int m = code.m();
+  std::vector<std::vector<int>> c2b(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    c2b[static_cast<std::size_t>(r)].assign(code.row(r).size(), 0);
+  }
+  DecodeResult res;
+  res.word.assign(static_cast<std::size_t>(n), 0);
+  std::vector<int> total(llr8);
+  for (auto& t : total) t = satClamp(t, kBits + 2);
+
+  for (int iter = 1; iter <= max_iters; ++iter) {
+    for (int r = 0; r < m; ++r) {
+      const auto& row = code.row(r);
+      auto& out = c2b[static_cast<std::size_t>(r)];
+      int min1 = 0x7FFFFFFF;
+      int min2 = 0x7FFFFFFF;
+      int argmin = -1;
+      int sign_prod = 1;
+      std::vector<int> b2c(row.size());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const int v = satClamp(total[static_cast<std::size_t>(row[i])] - out[i], kBits);
+        b2c[i] = v;
+        const int mag = v < 0 ? -v : v;
+        if (v < 0) sign_prod = -sign_prod;
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          argmin = static_cast<int>(i);
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        int mag = static_cast<int>(i) == argmin ? min2 : min1;
+        mag = mag - (mag >> 2);  // x0.75 normalization, hardware style
+        mag = satClamp(mag, kBits);
+        int sign = sign_prod;
+        if (b2c[i] < 0) sign = -sign;
+        const int nv = sign < 0 ? -mag : mag;
+        total[static_cast<std::size_t>(row[i])] =
+            satClamp(total[static_cast<std::size_t>(row[i])] + nv - out[i],
+                     kBits + 2);
+        out[i] = nv;
+      }
+    }
+    for (int bit = 0; bit < n; ++bit) {
+      res.word[static_cast<std::size_t>(bit)] =
+          total[static_cast<std::size_t>(bit)] < 0 ? 1 : 0;
+    }
+    res.iterations = iter;
+    if (code.checkWord(res.word)) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+int quantizeLlr(double llr, int bits) {
+  const int scaled = static_cast<int>(std::lround(llr * 8.0));
+  return satClamp(scaled, bits);
+}
+
+}  // namespace corebist::ldpc

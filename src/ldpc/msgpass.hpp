@@ -1,0 +1,48 @@
+// Golden message-passing decoders (Gallager [13], MacKay [14]).
+//
+// Reference implementations used to validate the serial hardware
+// architecture model: a floating-point min-sum decoder (with optional
+// normalization) and the same algorithm in the decoder's 8-bit fixed-point
+// arithmetic. Channel LLRs are positive for "bit = 0".
+#ifndef COREBIST_LDPC_MSGPASS_HPP_
+#define COREBIST_LDPC_MSGPASS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/code.hpp"
+
+namespace corebist::ldpc {
+
+struct DecodeResult {
+  std::vector<std::uint8_t> word;
+  bool converged = false;
+  int iterations = 0;
+};
+
+struct MinSumParams {
+  int max_iters = 20;
+  double normalization = 0.75;  // scaling of check-to-bit magnitudes
+};
+
+/// Floating-point normalized min-sum over the Tanner graph.
+[[nodiscard]] DecodeResult decodeMinSum(const LdpcCode& code,
+                                        const std::vector<double>& llr,
+                                        const MinSumParams& p = {});
+
+/// Saturating two's-complement helpers shared with the hardware models.
+[[nodiscard]] int satAdd(int a, int b, int bits);
+[[nodiscard]] int satClamp(int v, int bits);
+
+/// Fixed-point (8-bit message) min-sum as implemented by the serial
+/// architecture: magnitudes normalized by 0.75 (x - x>>2).
+[[nodiscard]] DecodeResult decodeMinSumFixed(const LdpcCode& code,
+                                             const std::vector<int>& llr8,
+                                             int max_iters = 20);
+
+/// Map a BPSK/AWGN observation to an 8-bit LLR (for examples/benches).
+[[nodiscard]] int quantizeLlr(double llr, int bits = 8);
+
+}  // namespace corebist::ldpc
+
+#endif  // COREBIST_LDPC_MSGPASS_HPP_

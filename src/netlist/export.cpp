@@ -1,0 +1,46 @@
+#include "netlist/export.hpp"
+
+#include <sstream>
+
+namespace corebist {
+
+std::string exportDot(const Netlist& nl, std::size_t max_gates) {
+  std::ostringstream os;
+  os << "digraph \"" << nl.name() << "\" {\n  rankdir=LR;\n";
+  for (const NetId pi : nl.primaryInputs()) {
+    os << "  n" << pi << " [shape=oval,label=\"" << nl.netName(pi)
+       << "\",color=blue];\n";
+  }
+  for (const NetId po : nl.primaryOutputs()) {
+    os << "  o" << po << " [shape=oval,label=\"" << nl.netName(po)
+       << "\",color=red];\n  n" << po << " -> o" << po << ";\n";
+  }
+  const std::size_t limit = std::min(max_gates, nl.numGates());
+  for (GateId g = 0; g < limit; ++g) {
+    const Gate& gate = nl.gates()[g];
+    os << "  g" << g << " [shape=box,label=\"" << gateName(gate.type)
+       << "\"];\n";
+    for (int p = 0; p < gate.nin; ++p) {
+      os << "  n" << gate.in[static_cast<std::size_t>(p)] << " -> g" << g
+         << ";\n";
+    }
+    os << "  g" << g << " -> n" << gate.out << " [arrowhead=none];\n";
+    os << "  n" << gate.out << " [shape=point];\n";
+  }
+  std::size_t ff = 0;
+  for (const Dff& d : nl.dffs()) {
+    os << "  f" << ff << " [shape=box,peripheries=2,label=\"DFF\"];\n";
+    os << "  n" << d.d << " -> f" << ff << ";\n";
+    os << "  f" << ff << " -> n" << d.q << " [arrowhead=none];\n";
+    os << "  n" << d.q << " [shape=point];\n";
+    ++ff;
+  }
+  if (limit < nl.numGates()) {
+    os << "  trunc [shape=plaintext,label=\"(+" << (nl.numGates() - limit)
+       << " gates truncated)\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace corebist

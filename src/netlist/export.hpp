@@ -1,0 +1,19 @@
+// Graphviz export of netlists (debug / documentation aid).
+#ifndef COREBIST_NETLIST_EXPORT_HPP_
+#define COREBIST_NETLIST_EXPORT_HPP_
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// DOT digraph of the netlist: gates as boxes, flops as double boxes, port
+/// nets as ovals. Intended for small netlists (examples, paper figures);
+/// emits at most `max_gates` gates and notes truncation.
+[[nodiscard]] std::string exportDot(const Netlist& nl,
+                                    std::size_t max_gates = 2000);
+
+}  // namespace corebist
+
+#endif  // COREBIST_NETLIST_EXPORT_HPP_

@@ -1,0 +1,33 @@
+#include "netlist/gate.hpp"
+
+namespace corebist {
+
+std::string_view gateName(GateType t) noexcept {
+  switch (t) {
+    case GateType::kConst0:
+      return "TIE0";
+    case GateType::kConst1:
+      return "TIE1";
+    case GateType::kBuf:
+      return "BUF";
+    case GateType::kNot:
+      return "INV";
+    case GateType::kAnd:
+      return "AND2";
+    case GateType::kNand:
+      return "NAND2";
+    case GateType::kOr:
+      return "OR2";
+    case GateType::kNor:
+      return "NOR2";
+    case GateType::kXor:
+      return "XOR2";
+    case GateType::kXnor:
+      return "XNOR2";
+    case GateType::kMux2:
+      return "MUX2";
+  }
+  return "?";
+}
+
+}  // namespace corebist

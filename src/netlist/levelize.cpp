@@ -1,0 +1,56 @@
+#include "netlist/levelize.hpp"
+
+#include <stdexcept>
+
+namespace corebist {
+
+Levelization levelize(const Netlist& nl) {
+  const auto& gates = nl.gates();
+  Levelization out;
+  out.order.reserve(gates.size());
+  out.level.assign(gates.size(), -1);
+
+  // Kahn's algorithm over gate dependencies. A gate depends on the drivers of
+  // its input nets; PI/state/const-net inputs contribute no dependency.
+  std::vector<int> pending(gates.size(), 0);
+  for (GateId g = 0; g < gates.size(); ++g) {
+    int deps = 0;
+    for (int p = 0; p < gates[g].nin; ++p) {
+      if (nl.driverOf(gates[g].in[static_cast<std::size_t>(p)]) !=
+          Netlist::kNoDriver) {
+        ++deps;
+      }
+    }
+    pending[g] = deps;
+  }
+
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < gates.size(); ++g) {
+    if (pending[g] == 0) {
+      ready.push_back(g);
+      out.level[g] = 0;
+    }
+  }
+
+  const auto& readers = nl.readers();
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const GateId g = ready[head++];
+    out.order.push_back(g);
+    for (const NetReader& r : readers[gates[g].out]) {
+      const int lvl = out.level[g] + 1;
+      if (out.level[r.gate] < lvl) out.level[r.gate] = lvl;
+      if (--pending[r.gate] == 0) ready.push_back(r.gate);
+    }
+  }
+
+  if (out.order.size() != gates.size()) {
+    throw std::logic_error(nl.name() + ": combinational loop detected");
+  }
+  for (const int lvl : out.level) {
+    if (lvl > out.depth) out.depth = lvl;
+  }
+  return out;
+}
+
+}  // namespace corebist

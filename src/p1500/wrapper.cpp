@@ -1,0 +1,140 @@
+#include "p1500/wrapper.hpp"
+
+#include <stdexcept>
+
+namespace corebist {
+
+namespace {
+/// Shift a register toward WSO (LSB-first): returns the outgoing bit.
+bool shiftReg(std::vector<bool>& reg, bool wsi) {
+  const bool out = reg.front();
+  for (std::size_t i = 0; i + 1 < reg.size(); ++i) reg[i] = reg[i + 1];
+  reg.back() = wsi;
+  return out;
+}
+
+std::uint32_t regValue(const std::vector<bool>& reg) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    if (reg[i]) v |= 1u << i;
+  }
+  return v;
+}
+
+void loadReg(std::vector<bool>& reg, std::uint64_t value) {
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    reg[i] = ((value >> i) & 1u) != 0;
+  }
+}
+}  // namespace
+
+std::string_view wirName(WirInstruction i) {
+  switch (i) {
+    case WirInstruction::kWsBypass:
+      return "WS_BYPASS";
+    case WirInstruction::kWsExtest:
+      return "WS_EXTEST";
+    case WirInstruction::kWsIntest:
+      return "WS_INTEST";
+    case WirInstruction::kWsCdr:
+      return "WS_CDR";
+    case WirInstruction::kWsDr:
+      return "WS_DR";
+  }
+  return "?";
+}
+
+P1500Wrapper::P1500Wrapper(int wbr_bits, Hooks hooks)
+    : hooks_(std::move(hooks)),
+      wir_shift_(kWirBits, false),
+      wcdr_shift_(kWcdrBits, false),
+      wdr_shift_(kWdrBits, false),
+      wbr_shift_(static_cast<std::size_t>(wbr_bits), false),
+      wbr_update_(static_cast<std::size_t>(wbr_bits), false) {
+  if (wbr_bits < 1) throw std::invalid_argument("P1500Wrapper: WBR empty");
+}
+
+void P1500Wrapper::reset() {
+  instr_ = WirInstruction::kWsBypass;
+  std::fill(wir_shift_.begin(), wir_shift_.end(), false);
+  std::fill(wcdr_shift_.begin(), wcdr_shift_.end(), false);
+  std::fill(wdr_shift_.begin(), wdr_shift_.end(), false);
+  std::fill(wbr_shift_.begin(), wbr_shift_.end(), false);
+  std::fill(wbr_update_.begin(), wbr_update_.end(), false);
+  wby_ = false;
+}
+
+int P1500Wrapper::selectedLength(bool select_wir) const {
+  if (select_wir) return kWirBits;
+  switch (instr_) {
+    case WirInstruction::kWsBypass:
+      return 1;
+    case WirInstruction::kWsExtest:
+    case WirInstruction::kWsIntest:
+      return static_cast<int>(wbr_shift_.size());
+    case WirInstruction::kWsCdr:
+      return kWcdrBits;
+    case WirInstruction::kWsDr:
+      return kWdrBits;
+  }
+  return 1;
+}
+
+bool P1500Wrapper::cycle(const WscSignals& wsc, bool wsi) {
+  bool wso = false;
+  if (wsc.select_wir) {
+    if (wsc.capture) {
+      // 1500 convention: capture a fixed 01 pattern for chain integrity.
+      loadReg(wir_shift_, 0b001u);
+    } else if (wsc.shift) {
+      wso = shiftReg(wir_shift_, wsi);
+    } else if (wsc.update) {
+      const std::uint32_t v = regValue(wir_shift_);
+      instr_ = v <= 4 ? static_cast<WirInstruction>(v)
+                      : WirInstruction::kWsBypass;
+    }
+    return wso;
+  }
+
+  switch (instr_) {
+    case WirInstruction::kWsBypass:
+      if (wsc.shift) {
+        wso = wby_;
+        wby_ = wsi;
+      }
+      break;
+    case WirInstruction::kWsExtest:
+    case WirInstruction::kWsIntest:
+      if (wsc.capture) {
+        const std::uint64_t snap =
+            hooks_.capture_inputs ? hooks_.capture_inputs() : 0u;
+        loadReg(wbr_shift_, snap);
+      } else if (wsc.shift) {
+        wso = shiftReg(wbr_shift_, wsi);
+      } else if (wsc.update) {
+        wbr_update_ = wbr_shift_;
+      }
+      break;
+    case WirInstruction::kWsCdr:
+      if (wsc.shift) {
+        wso = shiftReg(wcdr_shift_, wsi);
+      } else if (wsc.update) {
+        const std::uint32_t v = regValue(wcdr_shift_);
+        const auto cmd = static_cast<BistCommand>(v & 0x7u);
+        const auto data = static_cast<std::uint16_t>((v >> 3) & 0xFFFFu);
+        if (hooks_.command) hooks_.command(cmd, data);
+      }
+      break;
+    case WirInstruction::kWsDr:
+      if (wsc.capture) {
+        wdr_last_capture_ = hooks_.read_data ? hooks_.read_data() : 0u;
+        loadReg(wdr_shift_, wdr_last_capture_ & 0xFFFFu);
+      } else if (wsc.shift) {
+        wso = shiftReg(wdr_shift_, wsi);
+      }
+      break;
+  }
+  return wso;
+}
+
+}  // namespace corebist

@@ -1,0 +1,93 @@
+// IEEE P1500 wrapper (paper §3.3, Fig. 5).
+//
+// The wrapper interfaces the BIST-equipped core with the chip-level test
+// infrastructure: a serial port (WSI/WSO), the WSC control signals
+// (SelectWIR, CaptureWR, ShiftWR, UpdateWR, WRCK, WRSTN) and the register
+// set — mandatory WIR and WBY, the boundary register WBR, and the two
+// user-defined registers the paper introduces:
+//   * WCDR (Wrapper Control Data Register): commands to the core — reset,
+//     test start, pattern count, status-read selection;
+//   * WDR (Wrapper Data Register): output register through which the TAP
+//     reads test status and MISR signatures.
+#ifndef COREBIST_P1500_WRAPPER_HPP_
+#define COREBIST_P1500_WRAPPER_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bist/control_unit.hpp"
+
+namespace corebist {
+
+/// WIR instruction set (3 bits).
+enum class WirInstruction : std::uint8_t {
+  kWsBypass = 0,  // WBY between WSI and WSO
+  kWsExtest = 1,  // WBR, outward facing
+  kWsIntest = 2,  // WBR, inward facing
+  kWsCdr = 3,     // WCDR: command delivery to the BIST engine
+  kWsDr = 4,      // WDR: status / signature upload
+};
+
+[[nodiscard]] std::string_view wirName(WirInstruction i);
+
+/// One WRCK cycle's worth of WSC control signals.
+struct WscSignals {
+  bool select_wir = false;
+  bool capture = false;
+  bool shift = false;
+  bool update = false;
+};
+
+class P1500Wrapper {
+ public:
+  struct Hooks {
+    /// WCDR update: deliver a decoded command to the BIST control unit.
+    std::function<void(BistCommand, std::uint16_t)> command;
+    /// WDR capture: fetch the word to upload (status or selected MISR).
+    std::function<std::uint32_t()> read_data;
+    /// WBR capture: functional port snapshot (optional; zeros if absent).
+    std::function<std::uint64_t()> capture_inputs;
+  };
+
+  /// `wbr_bits` is the boundary-register length (in-cells + out-cells).
+  P1500Wrapper(int wbr_bits, Hooks hooks);
+
+  /// WRSTN: async reset — WIR returns to WS_BYPASS, registers clear.
+  void reset();
+
+  /// One WRCK rising edge. Returns the WSO bit presented during this cycle
+  /// (valid while shifting). `wsi` is the serial input bit.
+  bool cycle(const WscSignals& wsc, bool wsi);
+
+  [[nodiscard]] WirInstruction instruction() const noexcept { return instr_; }
+  /// Length of the register currently between WSI and WSO.
+  [[nodiscard]] int selectedLength(bool select_wir) const;
+
+  [[nodiscard]] const std::vector<bool>& wbrShadow() const noexcept {
+    return wbr_update_;
+  }
+  [[nodiscard]] std::uint32_t lastWdrCapture() const noexcept {
+    return wdr_last_capture_;
+  }
+
+  static constexpr int kWirBits = 3;
+  static constexpr int kWcdrBits = 19;  // 3-bit command + 16-bit data
+  static constexpr int kWdrBits = 16;
+
+ private:
+  Hooks hooks_;
+  WirInstruction instr_ = WirInstruction::kWsBypass;
+  std::vector<bool> wir_shift_;
+  bool wby_ = false;
+  std::vector<bool> wcdr_shift_;
+  std::vector<bool> wdr_shift_;
+  std::vector<bool> wbr_shift_;
+  std::vector<bool> wbr_update_;
+  std::uint32_t wdr_last_capture_ = 0;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_P1500_WRAPPER_HPP_

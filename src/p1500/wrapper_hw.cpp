@@ -1,0 +1,166 @@
+#include "p1500/wrapper_hw.hpp"
+
+#include <unordered_set>
+
+#include "netlist/builder.hpp"
+
+namespace corebist {
+
+namespace {
+/// One boundary cell: capture mux -> shift flop -> update flop -> out mux.
+/// Returns the cell's serial output (shift flop Q).
+NetId boundaryCell(Builder& b, NetId functional, NetId serial_in, NetId shift,
+                   NetId capture, NetId update_en, NetId test_mode,
+                   NetId* cell_out) {
+  Netlist& nl = b.netlist();
+  const NetId shift_q = nl.addDff();
+  const NetId update_q = nl.addDff();
+  // Shift flop: capture ? functional : (shift ? serial_in : hold)
+  const NetId shift_d =
+      b.mux(b.mux(shift_q, serial_in, shift), functional, capture);
+  nl.connectDff(shift_q, shift_d);
+  // Update latch.
+  nl.connectDff(update_q, b.mux(update_q, shift_q, update_en));
+  // Functional path mux: test_mode ? update_q : functional.
+  *cell_out = b.mux(functional, update_q, test_mode);
+  return shift_q;
+}
+}  // namespace
+
+Netlist buildWrapperHw(int in_bits, int out_bits) {
+  Netlist nl("p1500_wrapper");
+  Builder b(nl);
+  const NetId wsi = b.input("wsi", 1)[0];
+  const Bus wsc = b.input("wsc", 6);  // SelectWIR/Capture/Shift/Update/mode/rst
+  const NetId select_wir = wsc[0];
+  const NetId capture = wsc[1];
+  const NetId shift = wsc[2];
+  const NetId update = wsc[3];
+  const NetId test_mode = wsc[4];
+
+  const Bus f_in = b.input("f_in", in_bits);
+  const Bus f_out_core = b.input("f_out_core", out_bits);
+
+  // WIR: 3 shift cells + update register + decode.
+  const NetId wir_shift_en = b.and2(select_wir, shift);
+  const Bus wir_sh = b.state("wir_sh", 3);
+  b.connectEn(wir_sh, Bus{wir_sh[1], wir_sh[2], wsi}, wir_shift_en);
+  const Bus wir = b.state("wir", 3);
+  b.connectEn(wir, wir_sh, b.and2(select_wir, update));
+  const Bus decode = b.decode(wir);
+
+  const NetId dr_shift = b.and2(b.not1(select_wir), shift);
+  const NetId dr_capture = b.and2(b.not1(select_wir), capture);
+  const NetId dr_update = b.and2(b.not1(select_wir), update);
+
+  // WBY.
+  const Bus wby = b.state("wby", 1);
+  b.connectEn(wby, Bus{wsi}, b.and2(dr_shift, decode[0]));
+
+  // WBR around the functional ports.
+  Bus to_core;
+  Bus to_pads;
+  NetId serial = wsi;
+  const NetId wbr_sel = b.or2(decode[1], decode[2]);
+  const NetId wbr_shift = b.and2(dr_shift, wbr_sel);
+  const NetId wbr_capture = b.and2(dr_capture, wbr_sel);
+  const NetId wbr_update = b.and2(dr_update, wbr_sel);
+  for (int i = 0; i < in_bits; ++i) {
+    NetId cell_out = kNullNet;
+    serial = boundaryCell(b, f_in[static_cast<std::size_t>(i)], serial,
+                          wbr_shift, wbr_capture, wbr_update, test_mode,
+                          &cell_out);
+    to_core.push_back(cell_out);
+  }
+  for (int i = 0; i < out_bits; ++i) {
+    NetId cell_out = kNullNet;
+    serial = boundaryCell(b, f_out_core[static_cast<std::size_t>(i)], serial,
+                          wbr_shift, wbr_capture, wbr_update, test_mode,
+                          &cell_out);
+    to_pads.push_back(cell_out);
+  }
+
+  // WCDR: 19-bit shift + command decode strobe.
+  const Bus wcdr = b.state("wcdr", 19);
+  {
+    Bus next;
+    for (int i = 0; i + 1 < 19; ++i) next.push_back(wcdr[static_cast<std::size_t>(i + 1)]);
+    next.push_back(wsi);
+    b.connectEn(wcdr, next, b.and2(dr_shift, decode[3]));
+  }
+  const Bus cmd_strobe = b.state("cmd_strobe", 1);
+  b.connect(cmd_strobe, Bus{b.and2(dr_update, decode[3])});
+
+  // WDR: 16-bit capture/shift register fed by the engine's result bus.
+  const Bus result = b.input("result", 16);
+  const Bus wdr = b.state("wdr", 16);
+  {
+    Bus shifted;
+    for (int i = 0; i + 1 < 16; ++i) shifted.push_back(wdr[static_cast<std::size_t>(i + 1)]);
+    shifted.push_back(wsi);
+    const Bus next = b.mux(shifted, result, b.and2(dr_capture, decode[4]));
+    b.connectEn(wdr, next,
+                b.or2(b.and2(dr_shift, decode[4]), b.and2(dr_capture, decode[4])));
+  }
+
+  // WSO: selected register's serial tail.
+  Bus wso_src = wby;
+  NetId wso = b.mux(wso_src[0], serial, wbr_sel);
+  wso = b.mux(wso, wcdr[0], decode[3]);
+  wso = b.mux(wso, wdr[0], decode[4]);
+  wso = b.mux(wso, wir_sh[0], select_wir);
+  b.output("wso", Bus{wso});
+  b.output("to_core", to_core);
+  b.output("to_pads", to_pads);
+  b.output("cmd", Bus{cmd_strobe[0]});
+  nl.validate();
+  return nl;
+}
+
+Netlist buildBoundaryWrappedModule(const Netlist& module) {
+  Netlist nl(module.name() + "_wrapped");
+  Builder b(nl);
+  const NetId test_mode = b.input("wrp_test_mode", 1)[0];
+  nl.absorb(module, "u_");
+  // Only the module's genuine boundary gets cells: absorbed sub-module port
+  // registrations (whose nets are internal) are skipped.
+  std::unordered_set<NetId> pi_set(module.primaryInputs().begin(),
+                                   module.primaryInputs().end());
+  std::unordered_set<NetId> po_set(module.primaryOutputs().begin(),
+                                   module.primaryOutputs().end());
+  auto allIn = [](const std::unordered_set<NetId>& set,
+                  const std::vector<NetId>& bits) {
+    for (const NetId n : bits) {
+      if (!set.contains(n)) return false;
+    }
+    return true;
+  };
+  // Inputs: functional pad -> WBC mux -> core.
+  for (const PortBus& port : module.ports()) {
+    if (port.is_input ? !allIn(pi_set, port.bits) : !allIn(po_set, port.bits)) {
+      continue;
+    }
+    const PortBus* inner = nl.findPort("u_" + port.name);
+    if (port.is_input) {
+      const Bus pad = b.input(port.name, static_cast<int>(port.bits.size()));
+      for (std::size_t i = 0; i < inner->bits.size(); ++i) {
+        // The update latch is modelled as a register to keep realistic load.
+        const NetId upd = nl.addDff();
+        nl.connectDff(upd, upd);
+        nl.driveNet(inner->bits[i], b.mux(pad[i], upd, test_mode));
+      }
+    } else {
+      Bus outward;
+      for (std::size_t i = 0; i < inner->bits.size(); ++i) {
+        const NetId upd = nl.addDff();
+        nl.connectDff(upd, upd);
+        outward.push_back(b.mux(inner->bits[i], upd, test_mode));
+      }
+      b.output(port.name, outward);
+    }
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace corebist

@@ -1,0 +1,27 @@
+// Structural P1500 wrapper hardware, for the area (Table 2) and timing
+// (Table 4) accounting.
+//
+// buildWrapperHw(): standalone wrapper netlist — WIR (3 cells + decode),
+// WBY, WCDR (19 bits + command decode), WDR (16 bits) and one boundary cell
+// per wrapped functional I/O (shift flop + update flop + two muxes, the
+// standard WBC_1 layout).
+//
+// buildBoundaryWrappedModule(): a module with the boundary cells' series
+// muxes inserted on every functional input and output path — the timing
+// view of "patterns are applied using a standard P1500 wrapper".
+#ifndef COREBIST_P1500_WRAPPER_HW_HPP_
+#define COREBIST_P1500_WRAPPER_HW_HPP_
+
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// Standalone wrapper for a core with `in_bits`/`out_bits` functional I/O.
+[[nodiscard]] Netlist buildWrapperHw(int in_bits, int out_bits);
+
+/// Module variant with wrapper-cell muxes in series on each port.
+[[nodiscard]] Netlist buildBoundaryWrappedModule(const Netlist& module);
+
+}  // namespace corebist
+
+#endif  // COREBIST_P1500_WRAPPER_HW_HPP_

@@ -1,0 +1,96 @@
+#include "scan/scan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace corebist {
+
+namespace {
+std::vector<std::vector<int>> partitionChains(std::size_t flops,
+                                              std::vector<int> chain_sizes) {
+  if (chain_sizes.empty()) {
+    chain_sizes.push_back(static_cast<int>(flops));
+  }
+  const int total =
+      std::accumulate(chain_sizes.begin(), chain_sizes.end(), 0);
+  if (total != static_cast<int>(flops)) {
+    throw std::invalid_argument("scan: chain sizes must sum to flop count");
+  }
+  std::vector<std::vector<int>> chains;
+  int at = 0;
+  for (const int size : chain_sizes) {
+    std::vector<int> chain(static_cast<std::size_t>(size));
+    std::iota(chain.begin(), chain.end(), at);
+    at += size;
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+}  // namespace
+
+int ScanView::longestChain() const {
+  std::size_t longest = 0;
+  for (const auto& c : chains) longest = std::max(longest, c.size());
+  return static_cast<int>(longest);
+}
+
+std::size_t ScanView::testCycles(std::size_t patterns) const {
+  const std::size_t len = static_cast<std::size_t>(longestChain());
+  return patterns * (len + 1) + len;
+}
+
+std::size_t ScanView::testCyclesTransition(std::size_t pairs) const {
+  // Launch-on-shift: load (len), launch shift (1), capture (1); unload
+  // overlaps the next load.
+  const std::size_t len = static_cast<std::size_t>(longestChain());
+  return pairs * (len + 2) + len;
+}
+
+ScanView makeScanView(const Netlist& nl, std::vector<int> chain_sizes) {
+  ScanView view;
+  view.chains = partitionChains(nl.dffs().size(), std::move(chain_sizes));
+  view.inputs = nl.primaryInputs();
+  view.num_functional_inputs = static_cast<int>(view.inputs.size());
+  view.observed = nl.primaryOutputs();
+  view.num_functional_outputs = static_cast<int>(view.observed.size());
+  for (const auto& chain : view.chains) {
+    for (const int ff : chain) {
+      view.inputs.push_back(nl.dffs()[static_cast<std::size_t>(ff)].q);
+      view.observed.push_back(nl.dffs()[static_cast<std::size_t>(ff)].d);
+    }
+  }
+  return view;
+}
+
+Netlist buildScannedModule(const Netlist& nl, std::vector<int> chain_sizes) {
+  const auto chains = partitionChains(nl.dffs().size(), chain_sizes);
+  Netlist out(nl.name() + "_scan");
+  Builder b(out);
+  const NetId scan_en = b.input("scan_en", 1)[0];
+  std::vector<NetId> scan_ins;
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    scan_ins.push_back(b.input("scan_in_" + std::to_string(c), 1)[0]);
+  }
+  const NetId offset = out.absorb(nl, "");
+  out.adoptPortNets(nl, offset);
+  // Thread each chain: D' = scan_en ? prev_q : D, scan_out = last Q.
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    NetId prev = scan_ins[c];
+    for (const int ff : chains[c]) {
+      const Dff& orig = nl.dffs()[static_cast<std::size_t>(ff)];
+      const NetId q = orig.q + offset;
+      const NetId d = orig.d + offset;
+      out.rebindDff(q, out.addMux(d, prev, scan_en));
+      prev = q;
+    }
+    Bus so{prev};
+    b.output("scan_out_" + std::to_string(c), so);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace corebist

@@ -1,0 +1,58 @@
+// Scan-chain insertion and the full-scan combinational view (paper Table 3,
+// "Full scan patterns" columns).
+//
+// Full scan turns every flip-flop into a muxed-D scan cell threaded into
+// one or more shift chains. Two artifacts:
+//  * buildScannedModule(): the physical netlist with scan muxes and
+//    scan_en/scan_in/scan_out ports. Its fault universe is the one the
+//    paper reports for full scan (slightly larger than the functional
+//    universe: BIT_NODE 7,836 vs 7,532) and its fmax shows the scan-mux
+//    timing penalty of Table 4.
+//  * ScanView: the controllable/observable net lists (PIs + pseudo-PIs /
+//    POs + pseudo-POs) that combinational ATPG and fault simulation use,
+//    plus the test-time model: a pattern costs chain_length + 1 clocks
+//    (shift-in overlapped with shift-out of the previous response) and the
+//    final unload adds chain_length clocks.
+#ifndef COREBIST_SCAN_SCAN_HPP_
+#define COREBIST_SCAN_SCAN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+struct ScanView {
+  /// Controllable nets of the combinational view: functional PIs first,
+  /// then pseudo-PIs (flip-flop Q nets) in chain order.
+  std::vector<NetId> inputs;
+  /// Observable nets: functional POs first, then pseudo-POs (D nets).
+  std::vector<NetId> observed;
+  /// Flip-flop indices per chain (shift order: scan_in first).
+  std::vector<std::vector<int>> chains;
+  int num_functional_inputs = 0;
+  int num_functional_outputs = 0;
+
+  [[nodiscard]] int longestChain() const;
+  /// Clocks to apply `patterns` scan patterns (overlapped load/unload).
+  [[nodiscard]] std::size_t testCycles(std::size_t patterns) const;
+  /// Clocks for launch-on-shift transition pairs (one extra launch shift
+  /// per pair).
+  [[nodiscard]] std::size_t testCyclesTransition(std::size_t pairs) const;
+};
+
+/// Partition flip-flops into chains. `chain_sizes` empty => single chain;
+/// otherwise sizes must sum to the flop count (the case study's
+/// CONTROL_UNIT uses {14, 28}).
+[[nodiscard]] ScanView makeScanView(const Netlist& nl,
+                                    std::vector<int> chain_sizes = {});
+
+/// Physical full-scan netlist: every DFF D input goes through a scan mux;
+/// chains are stitched Q->SI; adds scan_en, scan_in_<c>, scan_out_<c> ports.
+[[nodiscard]] Netlist buildScannedModule(const Netlist& nl,
+                                         std::vector<int> chain_sizes = {});
+
+}  // namespace corebist
+
+#endif  // COREBIST_SCAN_SCAN_HPP_

@@ -1,0 +1,29 @@
+#include "synth/area.hpp"
+
+#include <sstream>
+
+namespace corebist {
+
+AreaReport reportArea(const Netlist& nl, const TechLib& lib, bool scan_flops) {
+  AreaReport r;
+  for (const Gate& g : nl.gates()) {
+    r.comb_um2 += lib.cell(g.type).area_um2;
+    r.by_type[static_cast<std::size_t>(g.type)]++;
+  }
+  r.gate_count = nl.numGates();
+  r.flop_count = nl.dffs().size();
+  const FlopSpec& ff = scan_flops ? lib.scanDff() : lib.dff();
+  r.seq_um2 = static_cast<double>(r.flop_count) * ff.area_um2;
+  r.total_um2 = (r.comb_um2 + r.seq_um2) * lib.wiringOverhead();
+  return r;
+}
+
+std::string formatAreaReport(const AreaReport& r, const std::string& title) {
+  std::ostringstream os;
+  os << title << ": " << r.gate_count << " gates, " << r.flop_count
+     << " flops, comb " << r.comb_um2 << " um^2, seq " << r.seq_um2
+     << " um^2, total " << r.total_um2 << " um^2";
+  return os.str();
+}
+
+}  // namespace corebist

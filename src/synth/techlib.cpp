@@ -1,0 +1,29 @@
+#include "synth/techlib.hpp"
+
+namespace corebist {
+
+TechLib TechLib::generic130nm() {
+  TechLib lib;
+  auto set = [&lib](GateType t, double area, double delay, double load) {
+    lib.cell(t) = CellSpec{area, delay, load};
+  };
+  // Areas in um^2 and delays in ns for a high-speed 0.13 um cell set,
+  // calibrated so the unmodified case-study core synthesizes near the
+  // paper's 438.6 MHz (Table 4).
+  set(GateType::kConst0, 1.6, 0.000, 0.000);
+  set(GateType::kConst1, 1.6, 0.000, 0.000);
+  set(GateType::kBuf, 3.2, 0.019, 0.0040);
+  set(GateType::kNot, 2.7, 0.009, 0.0035);
+  set(GateType::kAnd, 4.6, 0.023, 0.0043);
+  set(GateType::kNand, 3.7, 0.016, 0.0043);
+  set(GateType::kOr, 4.6, 0.024, 0.0043);
+  set(GateType::kNor, 3.7, 0.018, 0.0047);
+  set(GateType::kXor, 7.4, 0.032, 0.0051);
+  set(GateType::kXnor, 7.4, 0.033, 0.0051);
+  set(GateType::kMux2, 8.2, 0.027, 0.0047);
+  lib.dff() = FlopSpec{24.6, 0.152, 0.094};
+  lib.scanDff() = FlopSpec{30.4, 0.152, 0.151};  // muxed-D: slower D path
+  return lib;
+}
+
+}  // namespace corebist

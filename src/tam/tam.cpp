@@ -1,0 +1,80 @@
+#include "tam/tam.hpp"
+
+namespace corebist {
+
+Tam::Tam(TapController& tap) : select_shift_(8, false) { registerPorts(tap); }
+
+P1500Wrapper* Tam::selectedWrapper() {
+  if (cores_.empty()) return nullptr;
+  const std::size_t i = static_cast<std::size_t>(selected_) < cores_.size()
+                            ? static_cast<std::size_t>(selected_)
+                            : 0;
+  return cores_[i].wrapper;
+}
+
+int Tam::attach(P1500Wrapper* wrapper, std::function<void()> system_tick) {
+  cores_.push_back(CoreSlot{wrapper, std::move(system_tick)});
+  return static_cast<int>(cores_.size()) - 1;
+}
+
+void Tam::registerPorts(TapController& tap) {
+  auto idleTick = [this] {
+    if (cores_.empty()) return;
+    const std::size_t i = static_cast<std::size_t>(selected_) < cores_.size()
+                              ? static_cast<std::size_t>(selected_)
+                              : 0;
+    if (cores_[i].system_tick) cores_[i].system_tick();
+  };
+
+  TapController::DrPort select_port;
+  select_port.capture = [this] {
+    for (std::size_t i = 0; i < select_shift_.size(); ++i) {
+      select_shift_[i] = ((static_cast<unsigned>(selected_) >> i) & 1u) != 0;
+    }
+  };
+  select_port.shift = [this](bool tdi) {
+    const bool out = select_shift_.front();
+    for (std::size_t i = 0; i + 1 < select_shift_.size(); ++i) {
+      select_shift_[i] = select_shift_[i + 1];
+    }
+    select_shift_.back() = tdi;
+    return out;
+  };
+  select_port.update = [this] {
+    unsigned v = 0;
+    for (std::size_t i = 0; i < select_shift_.size(); ++i) {
+      if (select_shift_[i]) v |= 1u << i;
+    }
+    if (!cores_.empty() && v < cores_.size()) {
+      selected_ = static_cast<int>(v);
+    }
+  };
+  select_port.run_idle = idleTick;
+  tap.registerInstruction(kIrSelect, std::move(select_port));
+
+  auto makeWrapperPort = [this, idleTick](bool select_wir) {
+    TapController::DrPort port;
+    port.capture = [this, select_wir] {
+      if (P1500Wrapper* w = selectedWrapper()) {
+        w->cycle(WscSignals{select_wir, true, false, false}, false);
+      }
+    };
+    port.shift = [this, select_wir](bool tdi) {
+      if (P1500Wrapper* w = selectedWrapper()) {
+        return w->cycle(WscSignals{select_wir, false, true, false}, tdi);
+      }
+      return false;
+    };
+    port.update = [this, select_wir] {
+      if (P1500Wrapper* w = selectedWrapper()) {
+        w->cycle(WscSignals{select_wir, false, false, true}, false);
+      }
+    };
+    port.run_idle = idleTick;
+    return port;
+  };
+  tap.registerInstruction(kIrWirScan, makeWrapperPort(true));
+  tap.registerInstruction(kIrWdrScan, makeWrapperPort(false));
+}
+
+}  // namespace corebist

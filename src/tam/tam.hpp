@@ -1,0 +1,55 @@
+// Test Access Mechanism: the custom glue between the chip TAP controller
+// and the P1500 wrappers (paper Fig. 1 / §2).
+//
+// Three chip-level instructions are allocated on the TAP:
+//   TAM_SELECT   - DR is an 8-bit core-select register;
+//   TAM_WIR_SCAN - DR is the selected wrapper's WIR (SelectWIR = 1);
+//   TAM_WDR_SCAN - DR is whichever wrapper register the WIR selected
+//                  (WBY / WBR / WCDR / WDR).
+// CaptureDR / ShiftDR / UpdateDR map 1:1 onto the WSC capture/shift/update
+// pulses, and Run-Test/Idle clocks are forwarded to the cores as system
+// clocks so the BIST engines run while the ATE idles the TAP.
+#ifndef COREBIST_TAM_TAM_HPP_
+#define COREBIST_TAM_TAM_HPP_
+
+#include <functional>
+#include <vector>
+
+#include "jtag/tap.hpp"
+#include "p1500/wrapper.hpp"
+
+namespace corebist {
+
+class Tam {
+ public:
+  static constexpr std::uint32_t kIrSelect = 0x2;
+  static constexpr std::uint32_t kIrWirScan = 0x3;
+  static constexpr std::uint32_t kIrWdrScan = 0x4;
+
+  explicit Tam(TapController& tap);
+
+  /// Attach a wrapper; returns its core index. `system_tick` (optional) is
+  /// pulsed once per Run-Test/Idle TCK while this core is selected.
+  int attach(P1500Wrapper* wrapper, std::function<void()> system_tick = {});
+
+  [[nodiscard]] int selectedCore() const noexcept { return selected_; }
+  [[nodiscard]] int coreCount() const noexcept {
+    return static_cast<int>(cores_.size());
+  }
+
+ private:
+  struct CoreSlot {
+    P1500Wrapper* wrapper = nullptr;
+    std::function<void()> system_tick;
+  };
+  [[nodiscard]] P1500Wrapper* selectedWrapper();
+  void registerPorts(TapController& tap);
+
+  std::vector<CoreSlot> cores_;
+  int selected_ = 0;
+  std::vector<bool> select_shift_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_TAM_TAM_HPP_

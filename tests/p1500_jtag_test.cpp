@@ -1,0 +1,219 @@
+// P1500 wrapper, 1149.1 TAP, TAM and the complete bit-banged test session.
+#include <gtest/gtest.h>
+
+#include "core/soc.hpp"
+#include "core/wrapped_core.hpp"
+#include "jtag/driver.hpp"
+#include "jtag/tap.hpp"
+#include "ldpc/gatelevel.hpp"
+#include "netlist/builder.hpp"
+#include "p1500/wrapper.hpp"
+#include "tam/tam.hpp"
+
+namespace corebist {
+namespace {
+
+TEST(TapFsm, ResetFromAnywhereInFiveTmsOnes) {
+  for (int s = 0; s < 16; ++s) {
+    TapState st = static_cast<TapState>(s);
+    for (int i = 0; i < 5; ++i) st = tapNextState(st, true);
+    EXPECT_EQ(st, TapState::kTestLogicReset) << "from state " << s;
+  }
+}
+
+TEST(TapFsm, CanonicalDrPath) {
+  TapState s = TapState::kRunTestIdle;
+  s = tapNextState(s, true);   // Select-DR
+  EXPECT_EQ(s, TapState::kSelectDrScan);
+  s = tapNextState(s, false);  // Capture-DR
+  EXPECT_EQ(s, TapState::kCaptureDr);
+  s = tapNextState(s, false);  // Shift-DR
+  EXPECT_EQ(s, TapState::kShiftDr);
+  s = tapNextState(s, false);  // stays
+  EXPECT_EQ(s, TapState::kShiftDr);
+  s = tapNextState(s, true);  // Exit1
+  s = tapNextState(s, true);  // Update
+  EXPECT_EQ(s, TapState::kUpdateDr);
+  s = tapNextState(s, false);
+  EXPECT_EQ(s, TapState::kRunTestIdle);
+}
+
+TEST(Tap, IdcodeReadAfterReset) {
+  TapController tap(4, 0xDEADBEEF);
+  TapDriver driver(tap);
+  driver.reset();
+  // After reset the IDCODE instruction is selected; read 32 bits.
+  std::uint64_t id = 0;
+  const auto out = driver.shiftDr(0, 32);
+  id = out;
+  EXPECT_EQ(id, 0xDEADBEEFu);
+}
+
+TEST(Tap, BypassIsOneBit) {
+  TapController tap(4);
+  TapDriver driver(tap);
+  driver.reset();
+  driver.shiftIr(0xF, 4);  // BYPASS
+  // A walking one through bypass comes back delayed by exactly one bit.
+  const std::uint64_t out = driver.shiftDr(0b1011001, 7);
+  EXPECT_EQ(out & 0x7Fu, 0b0110010u);
+}
+
+TEST(Tap, IrShiftsOutCapturePattern) {
+  TapController tap(4);
+  TapDriver driver(tap);
+  driver.reset();
+  const std::uint64_t captured = driver.shiftIr(0x2, 4);
+  EXPECT_EQ(captured & 0xFu, 0b0001u);  // standard 01 capture
+}
+
+TEST(P1500, WirSelectsRegisters) {
+  P1500Wrapper::Hooks hooks;
+  P1500Wrapper w(10, hooks);
+  EXPECT_EQ(w.instruction(), WirInstruction::kWsBypass);
+  EXPECT_EQ(w.selectedLength(false), 1);
+  EXPECT_EQ(w.selectedLength(true), P1500Wrapper::kWirBits);
+
+  // Shift WS_CDR (3) into the WIR and update.
+  const unsigned instr = 3;
+  for (int i = 0; i < P1500Wrapper::kWirBits; ++i) {
+    w.cycle(WscSignals{true, false, true, false}, ((instr >> i) & 1u) != 0);
+  }
+  w.cycle(WscSignals{true, false, false, true}, false);
+  EXPECT_EQ(w.instruction(), WirInstruction::kWsCdr);
+  EXPECT_EQ(w.selectedLength(false), P1500Wrapper::kWcdrBits);
+}
+
+TEST(P1500, WcdrDeliversCommand) {
+  BistCommand got_cmd = BistCommand::kNop;
+  std::uint16_t got_data = 0;
+  P1500Wrapper::Hooks hooks;
+  hooks.command = [&](BistCommand c, std::uint16_t d) {
+    got_cmd = c;
+    got_data = d;
+  };
+  P1500Wrapper w(8, std::move(hooks));
+  // WIR <- WS_CDR.
+  for (int i = 0; i < 3; ++i) {
+    w.cycle(WscSignals{true, false, true, false}, ((3u >> i) & 1u) != 0);
+  }
+  w.cycle(WscSignals{true, false, false, true}, false);
+  // WCDR <- {data=0x0ABC, cmd=kLoadCount(2)} and update.
+  const std::uint32_t word = (0x0ABCu << 3) | 2u;
+  for (int i = 0; i < P1500Wrapper::kWcdrBits; ++i) {
+    w.cycle(WscSignals{false, false, true, false}, ((word >> i) & 1u) != 0);
+  }
+  w.cycle(WscSignals{false, false, false, true}, false);
+  EXPECT_EQ(got_cmd, BistCommand::kLoadCount);
+  EXPECT_EQ(got_data, 0x0ABCu);
+}
+
+TEST(P1500, WdrCapturesAndShiftsStatus) {
+  P1500Wrapper::Hooks hooks;
+  hooks.read_data = [] { return 0xBEEFu; };
+  P1500Wrapper w(8, std::move(hooks));
+  for (int i = 0; i < 3; ++i) {
+    w.cycle(WscSignals{true, false, true, false}, ((4u >> i) & 1u) != 0);
+  }
+  w.cycle(WscSignals{true, false, false, true}, false);
+  w.cycle(WscSignals{false, true, false, false}, false);  // capture
+  std::uint32_t out = 0;
+  for (int i = 0; i < P1500Wrapper::kWdrBits; ++i) {
+    if (w.cycle(WscSignals{false, false, true, false}, false)) out |= 1u << i;
+  }
+  EXPECT_EQ(out, 0xBEEFu);
+}
+
+TEST(P1500, ResetReturnsToBypass) {
+  P1500Wrapper::Hooks hooks;
+  P1500Wrapper w(4, hooks);
+  const unsigned instr = 2;  // WS_INTEST
+  for (int i = 0; i < 3; ++i) {
+    w.cycle(WscSignals{true, false, true, false}, ((instr >> i) & 1u) != 0);
+  }
+  w.cycle(WscSignals{true, false, false, true}, false);
+  EXPECT_EQ(w.instruction(), WirInstruction::kWsIntest);
+  w.reset();
+  EXPECT_EQ(w.instruction(), WirInstruction::kWsBypass);
+}
+
+TEST(P1500, UndefinedInstructionFallsBackToBypass) {
+  P1500Wrapper::Hooks hooks;
+  P1500Wrapper w(4, hooks);
+  for (int i = 0; i < 3; ++i) {
+    w.cycle(WscSignals{true, false, true, false}, true);  // 0b111 = 7
+  }
+  w.cycle(WscSignals{true, false, false, true}, false);
+  EXPECT_EQ(w.instruction(), WirInstruction::kWsBypass);
+}
+
+/// A tiny self-checking core for fast session tests: XOR tree module.
+Netlist makeToyModule() {
+  Netlist nl("toy");
+  Builder b(nl);
+  const Bus x = b.input("x", 12);
+  const Bus q = b.state("q", 12);
+  b.connect(q, b.bw(GateType::kXor, x, b.shiftConst(q, 1)));
+  b.output("y", q);
+  b.output("p", Bus{b.reduceXor(q)});
+  nl.validate();
+  return nl;
+}
+
+TEST(SocSession, FullBistSessionPassesOnHealthyCore) {
+  Soc soc;
+  auto core = std::make_unique<WrappedCore>("toy");
+  core->addModule(makeToyModule());
+  const int idx = soc.attachCore(std::move(core));
+  SocTestSession session(soc);
+  const CoreTestReport report = session.testCore(idx, 300);
+  EXPECT_TRUE(report.end_test_seen);
+  EXPECT_TRUE(report.pass) << report.summary();
+  ASSERT_EQ(report.modules.size(), 1u);
+  EXPECT_EQ(report.modules[0].signature, report.modules[0].golden);
+  EXPECT_GT(report.tap_clocks, 300u);
+}
+
+TEST(SocSession, DefectiveCoreFailsAndHealedCorePasses) {
+  Soc soc;
+  auto core = std::make_unique<WrappedCore>("toy");
+  core->addModule(makeToyModule());
+  const int idx = soc.attachCore(std::move(core));
+  soc.core(idx).injectDefect(0, 3, GateType::kXnor);
+  SocTestSession session(soc);
+  const CoreTestReport bad = session.testCore(idx, 300);
+  EXPECT_FALSE(bad.pass) << bad.summary();
+  soc.core(idx).healModule(0);
+  const CoreTestReport good = session.testCore(idx, 300);
+  EXPECT_TRUE(good.pass) << good.summary();
+}
+
+TEST(SocSession, MultiCoreSelectionIsIndependent) {
+  Soc soc;
+  auto c0 = std::make_unique<WrappedCore>("core0");
+  c0->addModule(makeToyModule());
+  auto c1 = std::make_unique<WrappedCore>("core1");
+  c1->addModule(makeToyModule());
+  const int i0 = soc.attachCore(std::move(c0));
+  const int i1 = soc.attachCore(std::move(c1));
+  soc.core(i1).injectDefect(0, 5, GateType::kNand);
+  SocTestSession session(soc);
+  const auto reports = session.testAll(200);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[static_cast<std::size_t>(i0)].pass);
+  EXPECT_FALSE(reports[static_cast<std::size_t>(i1)].pass);
+}
+
+TEST(SocSession, LdpcControlUnitEndToEnd) {
+  // End-to-end through the real CONTROL_UNIT netlist (42 flops, Table 1).
+  Soc soc;
+  auto core = std::make_unique<WrappedCore>("ldpc_cu");
+  core->addModule(ldpc::buildControlUnit());
+  const int idx = soc.attachCore(std::move(core));
+  SocTestSession session(soc);
+  const CoreTestReport report = session.testCore(idx, 512);
+  EXPECT_TRUE(report.pass) << report.summary();
+}
+
+}  // namespace
+}  // namespace corebist
