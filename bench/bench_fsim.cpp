@@ -1,0 +1,132 @@
+// Fault-simulation kernel throughput: serial engines vs ParallelFaultSim
+// on the Table 3 BIST workload. Emits BENCH_fsim.json (current directory)
+// so the patterns/sec trajectory is tracked from PR to PR.
+//
+// Metrics: patterns_per_sec counts applied stimulus patterns per second of
+// wall time; mfault_patterns_per_sec counts fault x pattern grading work
+// (faults * cycles / seconds / 1e6), the throughput that fault dropping and
+// threading actually scale.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "case_study.hpp"
+#include "fault/fault.hpp"
+#include "fault/parallel_fsim.hpp"
+#include "fault/seq_fsim.hpp"
+
+using namespace corebist;
+using namespace corebist::bench;
+
+namespace {
+
+struct Measurement {
+  std::string engine;
+  int threads = 1;
+  double seconds = 0.0;
+  std::size_t faults = 0;
+  int cycles = 0;
+  std::size_t detected = 0;
+
+  [[nodiscard]] double patternsPerSec() const {
+    return seconds > 0 ? static_cast<double>(cycles) / seconds : 0.0;
+  }
+  [[nodiscard]] double mfaultPatternsPerSec() const {
+    return seconds > 0 ? static_cast<double>(faults) *
+                             static_cast<double>(cycles) / seconds / 1e6
+                       : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quickMode(argc, argv);
+  printHeader("Fault-simulation kernel throughput (BENCH_fsim.json)");
+  CaseStudy cs;
+
+  const int cycles = quick ? 256 : 1024;
+  // CHECK_NODE dominates wall time; quick mode keeps the two small modules.
+  std::vector<int> slots = {cs.m_bn, cs.m_cu};
+  if (!quick) slots.push_back(cs.m_cn);
+
+  std::vector<Measurement> rows;
+  for (const int slot : slots) {
+    const Netlist& nl = cs.module(slot);
+    const FaultUniverse u = enumerateStuckAt(nl);
+    const auto stim = cs.engine.stimulus(slot, cycles);
+    const CyclePatternSource patterns(stim, nl.primaryInputs().size());
+    FaultSimOptions o;
+    o.cycles = cycles;
+
+    {
+      SeqFaultSim serial(nl);
+      SeqFsimOptions so = o;
+      so.num_threads = 1;
+      Stopwatch sw;
+      const auto r = serial.run(u.faults, stim, so);
+      rows.push_back({"serial", 1, sw.seconds(), u.faults.size(), cycles,
+                      r.detected});
+    }
+    for (const int threads : {1, 2, 4, 8}) {
+      ParallelFsimOptions popts;
+      popts.num_threads = threads;
+      ParallelFaultSim psim(SeqFaultSim{nl}, popts);
+      Stopwatch sw;
+      const auto r = psim.run(u.faults, patterns, o);
+      rows.push_back({"parallel", threads, sw.seconds(), u.faults.size(),
+                      cycles, r.detected});
+    }
+
+    std::printf("\n%s: %zu faults, %d cycles\n", nl.name().c_str(),
+                u.faults.size(), cycles);
+    for (auto it = rows.end() - 5; it != rows.end(); ++it) {
+      std::printf("  %-8s %d thread(s)  %7.3fs  %10.0f patterns/s  "
+                  "%8.2f Mfault-patterns/s  (%zu detected)\n",
+                  it->engine.c_str(), it->threads, it->seconds,
+                  it->patternsPerSec(), it->mfaultPatternsPerSec(),
+                  it->detected);
+    }
+  }
+
+  // Aggregate speedup at 4 threads over serial (summed wall time).
+  double serial_s = 0.0;
+  double par4_s = 0.0;
+  for (const auto& r : rows) {
+    if (r.engine == "serial") serial_s += r.seconds;
+    if (r.engine == "parallel" && r.threads == 4) par4_s += r.seconds;
+  }
+  const double speedup4 = par4_s > 0 ? serial_s / par4_s : 0.0;
+
+  std::FILE* f = std::fopen("BENCH_fsim.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_fsim.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"table3 BIST stuck-at, %d cycles\",\n",
+               cycles);
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"threads\": %d, \"faults\": %zu, "
+                 "\"cycles\": %d, \"seconds\": %.4f, "
+                 "\"patterns_per_sec\": %.1f, "
+                 "\"mfault_patterns_per_sec\": %.3f, \"detected\": %zu}%s\n",
+                 r.engine.c_str(), r.threads, r.faults, r.cycles, r.seconds,
+                 r.patternsPerSec(), r.mfaultPatternsPerSec(), r.detected,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("\nspeedup at 4 threads vs serial: %.2fx "
+              "(hardware_concurrency=%u)\n-> BENCH_fsim.json\n",
+              speedup4, std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,6 +1,7 @@
 // Fig. 4: Step-2 loop — fault coverage vs applied patterns on the
 // synthesized modules, the "add patterns until enough or budget exceeded"
-// iteration. One sequential fault-simulation run yields the full curve.
+// iteration. One ParallelFaultSim campaign (hardware-concurrency workers
+// over the shared FaultSim kernel) yields the full curve.
 #include <cstdio>
 
 #include "case_study.hpp"

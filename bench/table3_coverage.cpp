@@ -5,6 +5,7 @@
 #include "atpg/atpg.hpp"
 #include "case_study.hpp"
 #include "fault/fault.hpp"
+#include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "scan/scan.hpp"
 
@@ -72,16 +73,17 @@ int main(int argc, char** argv) {
     const auto tdf = toTransitionFaults(u.faults);
     const auto stim = cs.engine.stimulus(mc.slot, bist_cycles);
 
-    // ---- BIST ----
+    // ---- BIST (threaded fault-simulation kernel) ----
     {
-      SeqFaultSim fsim(nl);
-      SeqFsimOptions o;
+      ParallelFaultSim fsim(SeqFaultSim{nl});
+      const CyclePatternSource patterns(stim, nl.primaryInputs().size());
+      FaultSimOptions o;
       o.cycles = bist_cycles;
       Stopwatch sw;
-      const auto saf = fsim.run(u.faults, stim, o);
+      const auto saf = fsim.run(u.faults, patterns, o);
       const double t_saf = sw.seconds();
       Stopwatch sw2;
-      const auto tdfr = fsim.run(tdf, stim, o);
+      const auto tdfr = fsim.run(tdf, patterns, o);
       const double t_tdf = sw2.seconds();
       printRow("BIST", "SAF", saf.total, saf.coverage(),
                static_cast<std::size_t>(bist_cycles), t_saf, mc.bist.faults,
@@ -103,11 +105,13 @@ int main(int argc, char** argv) {
                saf.effective_cycles, t_saf, mc.seq.faults, mc.seq.saf_fc,
                mc.seq.cycles_saf);
       // TDF: grade the chosen sequence against the transition list.
-      SeqFaultSim fsim(nl);
-      SeqFsimOptions fo;
+      ParallelFaultSim fsim(SeqFaultSim{nl});
+      const CyclePatternSource seq_patterns(saf.best_sequence,
+                                            nl.primaryInputs().size());
+      FaultSimOptions fo;
       fo.cycles = seq_cycles;
       Stopwatch sw2;
-      const auto tdfr = fsim.run(tdf, saf.best_sequence, fo);
+      const auto tdfr = fsim.run(tdf, seq_patterns, fo);
       printRow("Sequential", "TDF", tdfr.total, tdfr.coverage(),
                saf.effective_cycles, sw2.seconds(), mc.seq.faults,
                mc.seq.tdf_fc, mc.seq.cycles_tdf);

@@ -11,10 +11,9 @@
 #include "diag/diagnosis.hpp"
 #include "fault/comb_fsim.hpp"
 #include "fault/fault.hpp"
+#include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "scan/scan.hpp"
-
-#include <random>
 
 using namespace corebist;
 using namespace corebist::bench;
@@ -27,20 +26,11 @@ EquivalenceClasses bistSignatureAnalysis(const Netlist& nl,
                                          std::span<const Fault> faults,
                                          std::span<const std::uint64_t> stim,
                                          int cycles, int misr_width) {
-  SeqFaultSim fsim(nl);
-  SeqFsimOptions o;
-  o.cycles = cycles;
-  o.windows = 64;
-  o.misr = makeMisrSpec(nl.primaryOutputs(), misr_width);
-  const auto r = fsim.run(faults, stim, o);
-  std::vector<Syndrome> syn(faults.size());
-  const int sw = r.sig_words_per_fault;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    syn[i].words.assign(
-        r.window_sig.begin() + static_cast<std::ptrdiff_t>(i) * sw,
-        r.window_sig.begin() + static_cast<std::ptrdiff_t>(i + 1) * sw);
-  }
-  return analyzeSyndromes(syn);
+  ParallelFaultSim fsim(SeqFaultSim{nl});
+  const CyclePatternSource patterns(stim, nl.primaryInputs().size());
+  return analyzeSyndromes(
+      misrWindowSyndromes(fsim, faults, patterns, cycles, 64,
+                          makeMisrSpec(nl.primaryOutputs(), misr_width)));
 }
 
 /// Sequential syndrome: the set of failing ATE windows plus the first
@@ -49,44 +39,20 @@ EquivalenceClasses windowsAnalysis(const Netlist& nl,
                                    std::span<const Fault> faults,
                                    std::span<const std::uint64_t> stim,
                                    int cycles) {
-  SeqFaultSim fsim(nl);
-  SeqFsimOptions o;
-  o.cycles = cycles;
-  o.windows = 64;
-  const auto r = fsim.run(faults, stim, o);
-  std::vector<Syndrome> syn(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (r.first_detect[i] < 0) continue;
-    syn[i].words = {r.window_mask[i],
-                    static_cast<std::uint64_t>(r.first_detect[i]) + 1};
-  }
-  return analyzeSyndromes(syn);
+  ParallelFaultSim fsim(SeqFaultSim{nl});
+  const CyclePatternSource patterns(stim, nl.primaryInputs().size());
+  return analyzeSyndromes(
+      detectionWindowSyndromes(fsim, faults, patterns, cycles, 64));
 }
 
 EquivalenceClasses scanDictionary(const Netlist& scanned, const ScanView& view,
                                   std::span<const Fault> faults, int blocks,
                                   std::uint64_t seed) {
-  CombFaultSim fsim(scanned, view.inputs, view.observed);
-  std::mt19937_64 rng(seed);
-  std::vector<std::vector<std::uint32_t>> detections(faults.size());
-  constexpr std::size_t kMaxDetections = 8;  // stop-on-first-error depth
-  for (int blk = 0; blk < blocks; ++blk) {
-    PatternBlock pb;
-    pb.inputs.resize(view.inputs.size());
-    for (auto& w : pb.inputs) w = rng();
-    fsim.loadBlock(pb);
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      auto& list = detections[i];
-      if (list.size() >= kMaxDetections) continue;
-      std::uint64_t det = fsim.detect(faults[i]);
-      while (det != 0 && list.size() < kMaxDetections) {
-        const int lane = std::countr_zero(det);
-        det &= det - 1;
-        list.push_back(static_cast<std::uint32_t>(blk * 64 + lane));
-      }
-    }
-  }
-  return analyzeSyndromes(syndromesFromPatternLists(detections));
+  constexpr int kMaxDetections = 8;  // stop-on-first-error depth
+  ParallelFaultSim fsim(CombFaultSim{scanned, view.inputs, view.observed});
+  const RandomPatternSource patterns(seed, view.inputs.size(), blocks * 64);
+  return analyzeSyndromes(dictionarySyndromes(fsim, faults, patterns,
+                                              blocks * 64, kMaxDetections));
 }
 
 void printRow(const char* name, const EquivalenceClasses& e, int paper_max,

@@ -8,6 +8,7 @@
 #include "diag/diagnosis.hpp"
 #include "eval/flow.hpp"
 #include "fault/fault.hpp"
+#include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "ldpc/arch/adapters.hpp"
 #include "ldpc/gatelevel.hpp"
@@ -50,15 +51,29 @@ int main() {
 
   // ---- Step 3 ----
   std::printf("\n[step 3] diagnostic matrix (64 MISR read-out windows):\n");
-  SeqFaultSim fsim(cu);
-  SeqFsimOptions o;
+  // Any FaultSim works here; the threaded orchestrator shards the fault
+  // list across worker clones of the sequential engine.
+  ParallelFaultSim fsim(SeqFaultSim{cu});
+  const CyclePatternSource patterns(stim, cu.primaryInputs().size());
+  FaultSimOptions o;
   o.cycles = budget;
   o.windows = 64;
-  const auto r = fsim.run(u.faults, stim, o);
+  const auto r = fsim.run(u.faults, patterns, o);
   const auto classes = analyzeSyndromes(syndromesFromWindows(r.window_mask));
   std::printf("  %zu detected faults fall into %zu classes: max size %zu, "
               "mean %.2f\n", classes.analyzed, classes.num_classes,
               classes.max_size, classes.mean_size);
+  // The same syndromes feed candidate scoring: replay one fault's syndrome
+  // as the tester observation and the distance-0 class points at it.
+  const auto dict = syndromesFromWindows(r.window_mask);
+  std::size_t culprit = 0;
+  while (culprit < dict.size() && dict[culprit].empty()) ++culprit;
+  if (culprit < dict.size()) {
+    const auto scores = scoreCandidates(dict, dict[culprit], 3);
+    std::printf("  candidate scoring for fault #%zu: best distance %d "
+                "(%zu candidates returned)\n",
+                culprit, scores.front().distance, scores.size());
+  }
   std::printf("  histogram:");
   for (std::size_t k = 0; k < classes.histogram.size() && k < 6; ++k) {
     std::printf(" size-%zu x%zu", k + 1, classes.histogram[k]);

@@ -55,24 +55,20 @@ FullScanAtpgResult runFullScanAtpg(const Netlist& scanned,
   std::vector<char> detected(faults.size(), 0);
   std::mt19937_64 rng(opts.seed);
 
-  // Phase 1: random patterns with fault dropping.
-  std::size_t live = faults.size();
-  int stall = 0;
-  for (int blk = 0; blk < opts.max_random_blocks && live > 0; ++blk) {
-    const PatternBlock block = randomBlock(rng, view.inputs.size());
-    fsim.loadBlock(block);
-    std::size_t newly = 0;
+  // Phase 1: random patterns with fault dropping and stall exit, one
+  // kernel campaign instead of a hand-rolled block loop.
+  {
+    const RandomPatternSource random_patterns(opts.seed, view.inputs.size(),
+                                              opts.max_random_blocks * 64);
+    FaultSimOptions fopts;
+    fopts.cycles = opts.max_random_blocks * 64;
+    fopts.prepass_cycles = 0;
+    fopts.stall_blocks = opts.random_stall_blocks;
+    const FaultSimResult rr = fsim.run(faults, random_patterns, fopts);
     for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (detected[i]) continue;
-      if (fsim.detect(faults[i]) != 0) {
-        detected[i] = 1;
-        ++newly;
-        --live;
-      }
+      if (rr.first_detect[i] >= 0) detected[i] = 1;
     }
-    res.patterns += 64;
-    stall = newly == 0 ? stall + 1 : 0;
-    if (stall >= opts.random_stall_blocks) break;
+    res.patterns += rr.patterns_applied;
   }
 
   // Phase 2: PODEM on survivors under the CPU budget. Generated tests are

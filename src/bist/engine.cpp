@@ -4,8 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
-#include "sim/seq_sim.hpp"
 
 namespace corebist {
 
@@ -126,24 +126,26 @@ std::uint64_t BistEngine::runAndSign(int m, const Netlist& physical,
     throw std::invalid_argument("runAndSign: netlist is not pin-compatible");
   }
   const auto stim = stimulus(m, cycles);
-  SeqSim sim(physical);
-  sim.reset();
-  Misr misr(cfg_.misr_width);
-  const auto& pis = physical.primaryInputs();
-  const auto& pos = physical.primaryOutputs();
-  for (int c = 0; c < cycles; ++c) {
-    for (std::size_t j = 0; j < pis.size(); ++j) {
-      sim.comb().set(pis[j], broadcast(((stim[static_cast<std::size_t>(c)] >> j) & 1u) != 0));
-    }
-    sim.evalComb();
-    std::uint64_t response = 0;
-    for (std::size_t j = 0; j < pos.size(); ++j) {
-      response ^= (sim.comb().get(pos[j]) & 1u) << (j % static_cast<std::size_t>(cfg_.misr_width));
-    }
-    misr.step(response);
-    sim.clockEdge();
-  }
-  return misr.state();
+  SeqFaultSim fsim(physical);
+  return fsim.goodSignature(
+      stim, cycles, makeMisrSpec(physical.primaryOutputs(),
+                                 cfg_.misr_width))[0];
+}
+
+FaultSimResult BistEngine::signatureCoverage(int m,
+                                             std::span<const Fault> faults,
+                                             int cycles,
+                                             int num_threads) const {
+  const Hookup& h = modules_.at(static_cast<std::size_t>(m));
+  const auto stim = stimulus(m, cycles);
+  ParallelFsimOptions popts;
+  popts.num_threads = num_threads;
+  ParallelFaultSim fsim(SeqFaultSim(*h.nl), popts);
+  const CyclePatternSource patterns(stim, h.nl->primaryInputs().size());
+  FaultSimOptions opts;
+  opts.cycles = cycles;
+  opts.misr = misrSpec(m);
+  return fsim.run(faults, patterns, opts);
 }
 
 Netlist withGateDefect(const Netlist& nl, GateId gate, GateType new_type) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -99,9 +100,21 @@ class BistEngine {
 
   /// Behavioral self-test: applies `cycles` patterns to a physical netlist
   /// (which must be pin-compatible with module `m`, e.g. a defective copy)
-  /// and returns the MISR signature.
+  /// and returns the MISR signature. Shares the good-machine signature path
+  /// of the fault-simulation kernel with goldenSignature(), so golden and
+  /// measured signatures can never drift apart arithmetically.
   [[nodiscard]] std::uint64_t runAndSign(int m, const Netlist& physical,
                                          int cycles) const;
+
+  /// Signature-qualification coverage of module `m`: fault-simulates
+  /// `faults` under the BIST stimulus with the module's MISR compaction
+  /// model attached, on `num_threads` workers (0 => hardware concurrency).
+  /// `misr_detect` tells which faults the signature actually catches (the
+  /// coverage minus aliasing losses).
+  [[nodiscard]] FaultSimResult signatureCoverage(int m,
+                                                 std::span<const Fault> faults,
+                                                 int cycles,
+                                                 int num_threads = 0) const;
 
  private:
   struct Hookup {

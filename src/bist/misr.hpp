@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "fault/seq_fsim.hpp"
+#include "fault/fault_sim.hpp"
 #include "netlist/builder.hpp"
 
 namespace corebist {

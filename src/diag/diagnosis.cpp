@@ -1,6 +1,7 @@
 #include "diag/diagnosis.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 
 namespace corebist {
@@ -67,6 +68,82 @@ std::vector<Syndrome> syndromesFromPatternLists(
     out.push_back(std::move(s));
   }
   return out;
+}
+
+std::vector<Syndrome> misrWindowSyndromes(FaultSim& fsim,
+                                          std::span<const Fault> faults,
+                                          const PatternSource& patterns,
+                                          int cycles, int windows,
+                                          const MisrSpec& misr) {
+  FaultSimOptions opts;
+  opts.cycles = cycles;
+  opts.windows = windows;
+  opts.misr = misr;
+  const FaultSimResult r = fsim.run(faults, patterns, opts);
+  std::vector<Syndrome> syn(faults.size());
+  const int sw = r.sig_words_per_fault;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    syn[i].words.assign(
+        r.window_sig.begin() + static_cast<std::ptrdiff_t>(i) * sw,
+        r.window_sig.begin() + static_cast<std::ptrdiff_t>(i + 1) * sw);
+  }
+  return syn;
+}
+
+std::vector<Syndrome> detectionWindowSyndromes(FaultSim& fsim,
+                                               std::span<const Fault> faults,
+                                               const PatternSource& patterns,
+                                               int cycles, int windows) {
+  FaultSimOptions opts;
+  opts.cycles = cycles;
+  opts.windows = windows;
+  const FaultSimResult r = fsim.run(faults, patterns, opts);
+  std::vector<Syndrome> syn(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (r.first_detect[i] < 0) continue;
+    syn[i].words = {r.window_mask[i],
+                    static_cast<std::uint64_t>(r.first_detect[i]) + 1};
+  }
+  return syn;
+}
+
+std::vector<Syndrome> dictionarySyndromes(FaultSim& fsim,
+                                          std::span<const Fault> faults,
+                                          const PatternSource& patterns,
+                                          int patterns_budget,
+                                          int max_detections) {
+  FaultSimOptions opts;
+  opts.cycles = patterns_budget;
+  opts.prepass_cycles = 0;
+  opts.record_detections = max_detections;
+  const FaultSimResult r = fsim.run(faults, patterns, opts);
+  return syndromesFromPatternLists(r.detect_patterns);
+}
+
+std::vector<CandidateScore> scoreCandidates(
+    std::span<const Syndrome> dictionary, const Syndrome& observed,
+    std::size_t top_k) {
+  std::vector<CandidateScore> scores;
+  scores.reserve(dictionary.size());
+  for (std::size_t i = 0; i < dictionary.size(); ++i) {
+    const auto& row = dictionary[i].words;
+    const auto& obs = observed.words;
+    int dist = 0;
+    const std::size_t n = std::max(row.size(), obs.size());
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::uint64_t a = w < row.size() ? row[w] : 0;
+      const std::uint64_t b = w < obs.size() ? obs[w] : 0;
+      dist += std::popcount(a ^ b);
+    }
+    scores.push_back(CandidateScore{static_cast<std::uint32_t>(i), dist});
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.fault < b.fault;
+            });
+  if (scores.size() > top_k) scores.resize(top_k);
+  return scores;
 }
 
 }  // namespace corebist

@@ -20,7 +20,10 @@
 #define COREBIST_DIAG_DIAGNOSIS_HPP_
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "fault/fault_sim.hpp"
 
 namespace corebist {
 
@@ -56,6 +59,46 @@ struct EquivalenceClasses {
 /// Build syndromes from per-fault first-K detecting pattern lists.
 [[nodiscard]] std::vector<Syndrome> syndromesFromPatternLists(
     const std::vector<std::vector<std::uint32_t>>& detections);
+
+// ---- Syndrome extraction over the FaultSim kernel ------------------------
+//
+// These run one fault-simulation campaign through any engine (serial or
+// ParallelFaultSim) and shape the per-fault records into diagnostic-matrix
+// rows; the benches and SoC sessions share them instead of hand-rolling
+// fault loops.
+
+/// BIST syndromes: the MISR signature difference read through the Output
+/// Selector at each of `windows` read-out boundaries.
+[[nodiscard]] std::vector<Syndrome> misrWindowSyndromes(
+    FaultSim& fsim, std::span<const Fault> faults,
+    const PatternSource& patterns, int cycles, int windows,
+    const MisrSpec& misr);
+
+/// Tester-log syndromes for uncompacted observation: the set of failing ATE
+/// windows plus the first failing cycle.
+[[nodiscard]] std::vector<Syndrome> detectionWindowSyndromes(
+    FaultSim& fsim, std::span<const Fault> faults,
+    const PatternSource& patterns, int cycles, int windows);
+
+/// Stop-on-first-error dictionary syndromes: the first `max_detections`
+/// failing pattern indices per fault.
+[[nodiscard]] std::vector<Syndrome> dictionarySyndromes(
+    FaultSim& fsim, std::span<const Fault> faults,
+    const PatternSource& patterns, int patterns_budget, int max_detections);
+
+/// One scored diagnosis candidate: dictionary row index + Hamming distance
+/// between its syndrome and the observed one.
+struct CandidateScore {
+  std::uint32_t fault = 0;
+  int distance = 0;
+};
+
+/// Rank dictionary faults against an observed syndrome (ascending Hamming
+/// distance, ties by fault index), truncated to `top_k`. Distance-0 entries
+/// are the equivalent fault class the tester cannot split further.
+[[nodiscard]] std::vector<CandidateScore> scoreCandidates(
+    std::span<const Syndrome> dictionary, const Syndrome& observed,
+    std::size_t top_k);
 
 }  // namespace corebist
 

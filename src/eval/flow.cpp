@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "sim/seq_sim.hpp"
 #include "sim/toggle.hpp"
@@ -49,12 +50,17 @@ Step1Result runStep1Loop(ldpc::ModuleAdapter& model, const Netlist& gate_level,
 
 Step2Result runStep2Loop(const Netlist& module, std::span<const Fault> faults,
                          std::span<const std::uint64_t> stimulus,
-                         std::span<const int> checkpoints, double target_fc) {
+                         std::span<const int> checkpoints, double target_fc,
+                         int num_threads) {
   Step2Result res;
-  SeqFaultSim fsim(module);
-  SeqFsimOptions opts;
+  ParallelFsimOptions popts;
+  popts.num_threads = num_threads;
+  ParallelFaultSim fsim(SeqFaultSim(module), popts);
+  const CyclePatternSource patterns(stimulus,
+                                    module.primaryInputs().size());
+  FaultSimOptions opts;
   opts.cycles = static_cast<int>(stimulus.size());
-  const SeqFsimResult r = fsim.run(faults, stimulus, opts);
+  const FaultSimResult r = fsim.run(faults, patterns, opts);
 
   // first_detect gives the cumulative curve directly.
   std::vector<std::int32_t> detect_cycles;

@@ -1,5 +1,8 @@
 #include "fault/comb_fsim.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <numeric>
 #include <stdexcept>
 
 namespace corebist {
@@ -22,6 +25,107 @@ CombFaultSim::CombFaultSim(const Netlist& nl, std::span<const NetId> inputs,
     order_index_[lev_.order[i]] = static_cast<int>(i);
   }
   for (const NetId n : observed_) observed_flag_[n] = 1;
+}
+
+FaultSimResult CombFaultSim::run(std::span<const Fault> faults,
+                                 const PatternSource& patterns,
+                                 const FaultSimOptions& opts) {
+  if (opts.misr.has_value()) {
+    throw std::invalid_argument(
+        "CombFaultSim: MISR compaction is a sequential-engine feature");
+  }
+  if (!opts.observe.empty()) {
+    throw std::invalid_argument(
+        "CombFaultSim: observation points are fixed at construction");
+  }
+  for (const Fault& f : faults) {
+    if (!isStuckAt(f.kind)) {
+      throw std::invalid_argument(
+          "CombFaultSim::run: transition faults need launch/capture pairs "
+          "(loadPairBlock)");
+    }
+  }
+  const int total = opts.cycles > 0 ? opts.cycles : patterns.patternCount();
+  if (total > patterns.patternCount()) {
+    throw std::invalid_argument(
+        "CombFaultSim: pattern source shorter than requested budget");
+  }
+
+  FaultSimResult res;
+  res.total = faults.size();
+  res.first_detect.assign(faults.size(), -1);
+  if (opts.windows > 0) res.window_mask.assign(faults.size(), 0);
+  const int record = opts.record_detections;
+  if (record > 0) res.detect_patterns.assign(faults.size(), {});
+  // Window masks and dictionary lists must see every pattern, so detection
+  // alone cannot retire a fault (mirrors the sequential engine, which runs
+  // every machine full-length in windowed/MISR modes).
+  const bool dropping = opts.drop_detected && opts.windows == 0;
+
+  std::vector<std::uint32_t> live(faults.size());
+  std::iota(live.begin(), live.end(), 0u);
+
+  PatternBlock block;
+  int stall = 0;
+  for (int start = 0; start < total && !live.empty(); start += 64) {
+    patterns.fill(start, block);
+    block.count = std::min(block.clampedCount(), total - start);
+    loadBlock(block);
+    res.patterns_applied += static_cast<std::size_t>(block.count);
+
+    bool newly = false;
+    std::size_t out = 0;
+    for (const std::uint32_t idx : live) {
+      const std::uint64_t det = detect(faults[idx]);
+      bool retire = false;
+      if (det != 0) {
+        if (res.first_detect[idx] < 0) {
+          res.first_detect[idx] =
+              start + std::countr_zero(det);
+          newly = true;
+        }
+        if (opts.windows > 0) {
+          std::uint64_t d = det;
+          while (d != 0) {
+            const int lane = std::countr_zero(d);
+            d &= d - 1;
+            const int w = static_cast<int>(
+                (static_cast<std::int64_t>(start + lane) * opts.windows) /
+                total);
+            res.window_mask[idx] |= std::uint64_t{1} << w;
+          }
+        }
+        if (record > 0) {
+          auto& list = res.detect_patterns[idx];
+          std::uint64_t d = det;
+          while (d != 0 && list.size() < static_cast<std::size_t>(record)) {
+            const int lane = std::countr_zero(d);
+            d &= d - 1;
+            list.push_back(static_cast<std::uint32_t>(start + lane));
+          }
+          retire = list.size() >= static_cast<std::size_t>(record);
+        } else {
+          retire = true;
+        }
+      }
+      if (!(dropping && retire)) live[out++] = idx;
+    }
+    live.resize(out);
+
+    if (opts.stall_blocks > 0) {
+      stall = newly ? 0 : stall + 1;
+      if (stall >= opts.stall_blocks) break;
+    }
+  }
+
+  for (const auto fd : res.first_detect) {
+    if (fd >= 0) ++res.detected;
+  }
+  return res;
+}
+
+std::unique_ptr<FaultSim> CombFaultSim::clone() const {
+  return std::make_unique<CombFaultSim>(nl_, inputs_, observed_);
 }
 
 void CombFaultSim::simulateGood(const PatternBlock& block,

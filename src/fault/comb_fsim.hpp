@@ -10,32 +10,34 @@
 #define COREBIST_FAULT_COMB_FSIM_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
 
 namespace corebist {
 
-/// 64 combinational patterns: one word per input position (word bit k is the
-/// value of that input in pattern k).
-struct PatternBlock {
-  std::vector<std::uint64_t> inputs;
-  int count = 64;  // number of meaningful lanes
-  [[nodiscard]] std::uint64_t laneMask() const noexcept {
-    return count >= 64 ? ~std::uint64_t{0}
-                       : ((std::uint64_t{1} << count) - 1);
-  }
-};
-
-class CombFaultSim {
+class CombFaultSim final : public FaultSim {
  public:
   /// `inputs` are the controllable nets (PIs + pseudo-PIs), `observed` the
   /// observable nets (POs + pseudo-POs).
   CombFaultSim(const Netlist& nl, std::span<const NetId> inputs,
                std::span<const NetId> observed);
+
+  /// Campaign entry point (FaultSim): grade stuck-at `faults` against the
+  /// pattern stream, with fault dropping, stall exit, per-window masks and
+  /// first-K dictionary records. Transition faults need launch/capture
+  /// pairs (loadPairBlock) and are rejected here; MISR compaction is a
+  /// sequential-engine feature and is rejected too.
+  [[nodiscard]] FaultSimResult run(std::span<const Fault> faults,
+                                   const PatternSource& patterns,
+                                   const FaultSimOptions& opts) override;
+
+  [[nodiscard]] std::unique_ptr<FaultSim> clone() const override;
 
   /// Good-simulate one block of patterns.
   void loadBlock(const PatternBlock& block);
@@ -50,7 +52,9 @@ class CombFaultSim {
   /// Good value of a net in the loaded (v2) block.
   [[nodiscard]] std::uint64_t goodValue(NetId n) const { return good_[n]; }
 
-  [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept override {
+    return nl_;
+  }
   [[nodiscard]] std::span<const NetId> inputs() const noexcept {
     return inputs_;
   }

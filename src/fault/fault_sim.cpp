@@ -1,0 +1,40 @@
+#include "fault/fault_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace corebist {
+
+void CyclePatternSource::fill(int start, PatternBlock& out) const {
+  const int n = std::min<int>(64, patternCount() - start);
+  assert(n >= 1 && "CyclePatternSource: fill past end of pattern source");
+  out.inputs.assign(width_, 0);
+  out.count = std::max(n, 1);
+  for (int k = 0; k < n; ++k) {
+    const std::uint64_t w = words_[static_cast<std::size_t>(start + k)];
+    for (std::size_t j = 0; j < width_; ++j) {
+      if ((w >> j) & 1u) out.inputs[j] |= std::uint64_t{1} << k;
+    }
+  }
+}
+
+void RandomPatternSource::fill(int start, PatternBlock& out) const {
+  const int n = std::min<int>(64, patternCount() - start);
+  assert(n >= 1 && "RandomPatternSource: fill past end of pattern source");
+  // Block-indexed stream: the same block always gets the same patterns, no
+  // matter which worker asks first.
+  const std::uint64_t block = static_cast<std::uint64_t>(start / 64);
+  std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (block + 1)));
+  out.inputs.resize(width_);
+  out.count = std::max(n, 1);
+  for (auto& w : out.inputs) w = rng();
+  if (n < 64) {
+    // Lanes past the end carry unspecified values; mask them off so partial
+    // blocks compare equal regardless of how the tail was generated.
+    const std::uint64_t mask = out.laneMask();
+    for (auto& w : out.inputs) w &= mask;
+  }
+}
+
+}  // namespace corebist

@@ -1,0 +1,204 @@
+// Common fault-simulation kernel interface.
+//
+// Every fault-simulation campaign in the repo — BIST coverage curves,
+// signature qualification, diagnosis dictionaries, ATPG random phases and
+// the paper-table benches — is the same shape: a fault universe graded
+// against a stream of test patterns, with per-fault detection records and
+// optional fault dropping. `FaultSim` is the seam where the engines
+// (pattern-parallel combinational, fault-parallel sequential) and the
+// orchestration layers (ParallelFaultSim sharding, future SoC sessions)
+// meet, so consumers write one loop instead of three.
+//
+//   * `PatternSource` abstracts the stimulus: a recorded per-cycle word
+//     stream (ALFSR output), a synthesized random stream, or anything else
+//     that can serve 64-pattern blocks by index. Sources must be
+//     thread-safe; parallel workers pull blocks concurrently.
+//   * `FaultSim::run` grades a fault list against a source and returns
+//     per-fault first-detection indices plus the optional window / MISR /
+//     dictionary records the diagnosis flows need.
+//   * `FaultSim::clone` hands each worker thread a private engine with its
+//     own scratch state over the same shared (read-only) netlist.
+#ifndef COREBIST_FAULT_FAULT_SIM_HPP_
+#define COREBIST_FAULT_FAULT_SIM_HPP_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// 64 patterns in PPSFP layout: one word per input position (word bit k is
+/// the value of that input in lane k). Combinational engines treat lanes as
+/// independent test patterns; sequential stimulus views them as consecutive
+/// clock cycles.
+struct PatternBlock {
+  std::vector<std::uint64_t> inputs;
+  int count = 64;  // number of meaningful lanes, in [1, 64]
+
+  /// `count` clamped into the valid [1, 64] lane range. An out-of-range
+  /// count is a caller bug: asserted in debug builds, clamped in release so
+  /// a bad count can never silently yield an empty lane mask (which used to
+  /// drop every detection of the block).
+  [[nodiscard]] int clampedCount() const noexcept {
+    assert(count >= 1 && count <= 64 && "PatternBlock: count out of [1,64]");
+    return count < 1 ? 1 : (count > 64 ? 64 : count);
+  }
+
+  [[nodiscard]] std::uint64_t laneMask() const noexcept {
+    const int c = clampedCount();
+    return c >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+  }
+};
+
+/// Bit-sliced MISR model: `feeds[j]` lists the output nets XOR-folded into
+/// tap j (the paper folds wide module outputs into 16-bit MISRs through XOR
+/// cascades). `poly` holds the feedback taps (bit j set => tap j receives
+/// the MSB feedback), i.e. the characteristic polynomial minus x^width.
+struct MisrSpec {
+  int width = 16;
+  std::uint64_t poly = 0;
+  std::vector<std::vector<NetId>> feeds;
+};
+
+struct FaultSimOptions {
+  /// Pattern budget of the campaign; <= 0 means "whole pattern source".
+  /// Sequential engines apply one pattern per clock, so this is also the
+  /// cycle count.
+  int cycles = 4096;
+  int prepass_cycles = 256;  // 0 disables the two-pass schedule
+  bool drop_detected = true;
+  int num_threads = 2;  // engine-internal workers (orchestrators pin to 1)
+  /// >0: record a per-window detection mask per fault (diagnosis syndromes);
+  /// implies full-length simulation of every fault.
+  int windows = 0;
+  /// Optional MISR compaction model (empirical aliasing measurement;
+  /// sequential engines only).
+  std::optional<MisrSpec> misr;
+  /// Observation points; empty => primary outputs of the netlist.
+  std::vector<NetId> observe;
+  /// >0: record the first K detecting pattern indices per fault
+  /// (stop-on-first-error diagnosis dictionaries). Combinational engines
+  /// record up to K; sequential engines record the first detection only.
+  int record_detections = 0;
+  /// >0: stop the campaign after this many consecutive 64-pattern blocks
+  /// with no new detection (random-pattern stall exit; combinational
+  /// engines only — orchestrators strip it so shard-local stalls can never
+  /// change the detected set).
+  int stall_blocks = 0;
+};
+
+struct FaultSimResult {
+  std::vector<std::int32_t> first_detect;  // -1 => undetected at outputs
+  std::vector<std::uint64_t> window_mask;  // per fault, when windows > 0
+  std::vector<char> misr_detect;           // per fault, when misr set
+  /// Per fault, when windows > 0 AND misr set: the XOR difference between
+  /// the faulty and good MISR signatures at every window boundary, packed
+  /// window-major (windows * misr.width bits -> sig_words per fault). This
+  /// is exactly what reading the MISR through the Output Selector after
+  /// every window yields, and is the BIST diagnosis syndrome of Table 5.
+  std::vector<std::uint64_t> window_sig;
+  int sig_words_per_fault = 0;
+  /// Per fault, when record_detections > 0: detecting pattern indices in
+  /// ascending order (at most `record_detections` entries).
+  std::vector<std::vector<std::uint32_t>> detect_patterns;
+  /// Patterns actually applied (== the budget unless a stall exit fired).
+  std::size_t patterns_applied = 0;
+  std::size_t detected = 0;
+  std::size_t total = 0;
+
+  [[nodiscard]] double coverage() const {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(detected) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Campaign stimulus: test patterns served as 64-lane blocks by index.
+/// Implementations must be thread-safe — parallel workers fill blocks
+/// concurrently and may revisit the same block in later passes.
+class PatternSource {
+ public:
+  virtual ~PatternSource() = default;
+  /// Total patterns the source can supply.
+  [[nodiscard]] virtual int patternCount() const = 0;
+  /// Input positions per pattern.
+  [[nodiscard]] virtual std::size_t width() const = 0;
+  /// Fill `out` (PPSFP layout) with up to 64 patterns starting at `start`;
+  /// `out.count` receives the number of valid lanes.
+  virtual void fill(int start, PatternBlock& out) const = 0;
+  /// Fast path for narrow stimuli: one word per pattern (bit j drives input
+  /// j), the natural layout of sequential per-cycle streams. An empty span
+  /// means "not available, use fill()".
+  [[nodiscard]] virtual std::span<const std::uint64_t> packedWords() const {
+    return {};
+  }
+};
+
+/// Recorded per-cycle stimulus (e.g. the ALFSR word stream of a BIST
+/// session): word c bit j drives input j at pattern/cycle c.
+class CyclePatternSource final : public PatternSource {
+ public:
+  CyclePatternSource(std::span<const std::uint64_t> words, std::size_t width)
+      : words_(words), width_(width) {}
+
+  [[nodiscard]] int patternCount() const override {
+    return static_cast<int>(words_.size());
+  }
+  [[nodiscard]] std::size_t width() const override { return width_; }
+  void fill(int start, PatternBlock& out) const override;
+  [[nodiscard]] std::span<const std::uint64_t> packedWords() const override {
+    return words_;
+  }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::size_t width_;
+};
+
+/// Uniform-random patterns of arbitrary width (full-scan random phases,
+/// dictionary construction). Each 64-pattern block derives its own RNG
+/// stream from (seed, block index), so any worker can materialize any block
+/// independently and the campaign is reproducible under any schedule.
+class RandomPatternSource final : public PatternSource {
+ public:
+  RandomPatternSource(std::uint64_t seed, std::size_t width, int count)
+      : seed_(seed), width_(width), count_(count) {}
+
+  [[nodiscard]] int patternCount() const override { return count_; }
+  [[nodiscard]] std::size_t width() const override { return width_; }
+  void fill(int start, PatternBlock& out) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t width_;
+  int count_;
+};
+
+/// Abstract fault-simulation engine: grade faults against patterns.
+class FaultSim {
+ public:
+  virtual ~FaultSim() = default;
+
+  [[nodiscard]] virtual const Netlist& netlist() const noexcept = 0;
+
+  /// Simulate `faults` against `patterns` and return per-fault results.
+  /// Engines may reorder internal work freely but results are functions of
+  /// (fault, pattern stream) only, so any schedule yields identical output.
+  [[nodiscard]] virtual FaultSimResult run(std::span<const Fault> faults,
+                                           const PatternSource& patterns,
+                                           const FaultSimOptions& opts) = 0;
+
+  /// Fresh engine with private scratch state over the same shared netlist,
+  /// for worker threads.
+  [[nodiscard]] virtual std::unique_ptr<FaultSim> clone() const = 0;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_FAULT_FAULT_SIM_HPP_

@@ -394,7 +394,60 @@ SeqFsimResult SeqFaultSim::run(std::span<const Fault> faults,
   for (const auto fd : result.first_detect) {
     if (fd >= 0) ++result.detected;
   }
+  result.patterns_applied = static_cast<std::size_t>(opts.cycles);
+  // Sequential machines latch only the first divergence; dictionary
+  // consumers get a one-entry list per detected fault.
+  if (opts.record_detections > 0) {
+    result.detect_patterns.assign(faults.size(), {});
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (result.first_detect[i] >= 0) {
+        result.detect_patterns[i].push_back(
+            static_cast<std::uint32_t>(result.first_detect[i]));
+      }
+    }
+  }
   return result;
+}
+
+FaultSimResult SeqFaultSim::run(std::span<const Fault> faults,
+                                const PatternSource& patterns,
+                                const FaultSimOptions& opts) {
+  FaultSimOptions o = opts;
+  o.cycles = opts.cycles > 0 ? opts.cycles : patterns.patternCount();
+  o.stall_blocks = 0;  // stall exits are a combinational-campaign notion
+
+  const auto packed = patterns.packedWords();
+  if (!packed.empty()) {
+    return run(faults, packed, o);
+  }
+  if (patterns.width() > 64) {
+    throw std::invalid_argument(
+        "SeqFaultSim: pattern source wider than 64 inputs; pack the "
+        "stimulus differently");
+  }
+  if (o.cycles > patterns.patternCount()) {
+    throw std::invalid_argument("SeqFaultSim: stimulus shorter than cycles");
+  }
+  // Transpose PPSFP blocks into the per-cycle word stream the fault-parallel
+  // kernel broadcasts.
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(o.cycles), 0);
+  PatternBlock block;
+  for (int start = 0; start < o.cycles; start += 64) {
+    patterns.fill(start, block);
+    const int n = std::min(block.clampedCount(), o.cycles - start);
+    for (int k = 0; k < n; ++k) {
+      std::uint64_t w = 0;
+      for (std::size_t j = 0; j < block.inputs.size(); ++j) {
+        w |= ((block.inputs[j] >> k) & 1u) << j;
+      }
+      words[static_cast<std::size_t>(start + k)] = w;
+    }
+  }
+  return run(faults, words, o);
+}
+
+std::unique_ptr<FaultSim> SeqFaultSim::clone() const {
+  return std::make_unique<SeqFaultSim>(nl_);
 }
 
 std::vector<std::uint64_t> SeqFaultSim::goodSignature(

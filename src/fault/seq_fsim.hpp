@@ -19,62 +19,22 @@
 #define COREBIST_FAULT_SEQ_FSIM_HPP_
 
 #include <cstdint>
-#include <functional>
-#include <optional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
 #include "netlist/netlist.hpp"
 
 namespace corebist {
 
-/// Bit-sliced MISR model: `feeds[j]` lists the output nets XOR-folded into
-/// tap j (the paper folds wide module outputs into 16-bit MISRs through XOR
-/// cascades). `poly` holds the feedback taps (bit j set => tap j receives
-/// the MSB feedback), i.e. the characteristic polynomial minus x^width.
-struct MisrSpec {
-  int width = 16;
-  std::uint64_t poly = 0;
-  std::vector<std::vector<NetId>> feeds;
-};
+/// The option/result records live with the common interface; these aliases
+/// keep the sequential engine's historical names working.
+using SeqFsimOptions = FaultSimOptions;
+using SeqFsimResult = FaultSimResult;
 
-struct SeqFsimOptions {
-  int cycles = 4096;
-  int prepass_cycles = 256;  // 0 disables the two-pass schedule
-  bool drop_detected = true;
-  int num_threads = 2;
-  /// >0: record a per-window detection mask per fault (diagnosis syndromes);
-  /// implies full-length simulation of every group.
-  int windows = 0;
-  /// Optional MISR compaction model (empirical aliasing measurement).
-  std::optional<MisrSpec> misr;
-  /// Observation points; empty => primary outputs of the netlist.
-  std::vector<NetId> observe;
-};
-
-struct SeqFsimResult {
-  std::vector<std::int32_t> first_detect;  // -1 => undetected at outputs
-  std::vector<std::uint64_t> window_mask;  // per fault, when windows > 0
-  std::vector<char> misr_detect;           // per fault, when misr set
-  /// Per fault, when windows > 0 AND misr set: the XOR difference between
-  /// the faulty and good MISR signatures at every window boundary, packed
-  /// window-major (windows * misr.width bits -> sig_words per fault). This
-  /// is exactly what reading the MISR through the Output Selector after
-  /// every window yields, and is the BIST diagnosis syndrome of Table 5.
-  std::vector<std::uint64_t> window_sig;
-  int sig_words_per_fault = 0;
-  std::size_t detected = 0;
-  std::size_t total = 0;
-
-  [[nodiscard]] double coverage() const {
-    return total == 0 ? 0.0
-                      : 100.0 * static_cast<double>(detected) /
-                            static_cast<double>(total);
-  }
-};
-
-class SeqFaultSim {
+class SeqFaultSim final : public FaultSim {
  public:
   explicit SeqFaultSim(const Netlist& nl);
 
@@ -83,6 +43,18 @@ class SeqFaultSim {
   [[nodiscard]] SeqFsimResult run(std::span<const Fault> faults,
                                   std::span<const std::uint64_t> stimulus,
                                   const SeqFsimOptions& opts) const;
+
+  /// Campaign entry point (FaultSim): uses the source's packed per-cycle
+  /// words directly when available, otherwise transposes blocks into the
+  /// per-cycle stream (requires width <= 64).
+  [[nodiscard]] FaultSimResult run(std::span<const Fault> faults,
+                                   const PatternSource& patterns,
+                                   const FaultSimOptions& opts) override;
+
+  [[nodiscard]] const Netlist& netlist() const noexcept override {
+    return nl_;
+  }
+  [[nodiscard]] std::unique_ptr<FaultSim> clone() const override;
 
   /// Good-machine MISR signature for a stimulus (no faults), for golden
   /// signature generation.

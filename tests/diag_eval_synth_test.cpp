@@ -93,6 +93,55 @@ TEST(Diagnosis, SignatureSyndromesAreFinerThanWindowMasks) {
   EXPECT_LE(fine_e.max_size, coarse.max_size);
 }
 
+TEST(Diagnosis, CandidateScoringRanksByHammingDistance) {
+  const std::vector<Syndrome> dict = {
+      {{0b1100}},        // distance 2 to observed
+      {{0b1010}},        // distance 0 (the culprit's class)
+      {{0b1010, 0b1}},   // extra word -> distance 1
+      {{0}},             // distance 2
+  };
+  const Syndrome observed{{0b1010}};
+  const auto scores = scoreCandidates(dict, observed, 3);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0].fault, 1u);
+  EXPECT_EQ(scores[0].distance, 0);
+  EXPECT_EQ(scores[1].fault, 2u);
+  EXPECT_EQ(scores[1].distance, 1);
+  EXPECT_EQ(scores[2].distance, 2);
+}
+
+TEST(Diagnosis, DictionarySyndromesLocateAnInjectedFault) {
+  // Closed-loop diagnosis over the kernel: build a dictionary, replay one
+  // fault's own syndrome as the "tester observation", and the top-ranked
+  // candidate class must contain that fault at distance 0.
+  const Netlist nl = ldpc::buildBitNode();
+  const FaultUniverse u = enumerateStuckAt(nl);
+  SeqFaultSim fsim(nl);
+  BistEngine engine;
+  const int m = engine.attachModule(nl);
+  const auto stim = engine.stimulus(m, 256);
+  const CyclePatternSource patterns(stim, nl.primaryInputs().size());
+  const auto dict = dictionarySyndromes(fsim, u.faults, patterns, 256, 4);
+  ASSERT_EQ(dict.size(), u.faults.size());
+  // Pick the first detected fault as the culprit.
+  std::size_t culprit = dict.size();
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    if (!dict[i].empty()) {
+      culprit = i;
+      break;
+    }
+  }
+  ASSERT_LT(culprit, dict.size());
+  const auto scores = scoreCandidates(dict, dict[culprit], 5);
+  ASSERT_FALSE(scores.empty());
+  EXPECT_EQ(scores.front().distance, 0);
+  bool culprit_in_class = false;
+  for (const auto& s : scores) {
+    if (s.distance == 0 && s.fault == culprit) culprit_in_class = true;
+  }
+  EXPECT_TRUE(culprit_in_class);
+}
+
 TEST(StatementCoverage, RecorderSemantics) {
   StatementCoverage cov(4);
   EXPECT_DOUBLE_EQ(cov.coverage(), 0.0);
