@@ -1,0 +1,134 @@
+// SoC session-layer throughput: serial vs sharded test campaigns on the
+// SocTestScheduler. Emits BENCH_soc.json (current directory) so the
+// cores/sec trajectory is tracked from PR to PR alongside BENCH_fsim.json.
+//
+// The workload is a many-core SoC of mid-sized wrapped cores (two modules
+// each); every campaign runs the full bit-banged protocol — TAP reset, TAM
+// select, WCDR programming, at-speed run, WDR signature upload — plus the
+// golden-signature computation, which is what sharding actually overlaps.
+// Before timing anything the bench proves the sharded fingerprints equal
+// the serial reference, so the numbers are only reported for campaigns
+// that are byte-identical.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "case_study.hpp"
+#include "core/scheduler.hpp"
+#include "core/soc.hpp"
+#include "netlist/builder.hpp"
+
+using namespace corebist;
+using namespace corebist::bench;
+
+namespace {
+
+Netlist makeBlock(int twist, int width) {
+  Netlist nl("blk" + std::to_string(twist));
+  Builder b(nl);
+  const Bus x = b.input("x", width);
+  const Bus q = b.state("q", width);
+  b.connect(q, b.bw(GateType::kXor, x, b.shiftConst(q, 1 + twist % 5)));
+  b.output("y", b.add(q, x));
+  b.output("p", Bus{b.reduceXor(q)});
+  nl.validate();
+  return nl;
+}
+
+std::unique_ptr<Soc> makeSoc(int cores) {
+  auto soc = std::make_unique<Soc>("bench_soc");
+  for (int c = 0; c < cores; ++c) {
+    auto core = std::make_unique<WrappedCore>("core" + std::to_string(c));
+    core->addModule(makeBlock(2 * c, 14 + (c % 3) * 4));
+    core->addModule(makeBlock(2 * c + 1, 12 + (c % 4) * 4));
+    soc->attachCore(std::move(core));
+  }
+  // One defective die keeps the mismatch path in the measured loop.
+  soc->core(cores / 2).injectDefect(0, 7, GateType::kNor);
+  return soc;
+}
+
+struct Measurement {
+  int threads = 1;
+  double seconds = 0.0;
+  int cores = 0;
+  std::size_t tap_clocks = 0;
+  [[nodiscard]] double coresPerSec() const {
+    return seconds > 0 ? static_cast<double>(cores) / seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quickMode(argc, argv);
+  printHeader("SoC session-layer throughput (BENCH_soc.json)");
+
+  const int cores = quick ? 6 : 12;
+  const int patterns = quick ? 256 : 1024;
+  auto soc = makeSoc(cores);
+  SocTestScheduler scheduler(*soc);
+
+  std::printf("%d cores x %d patterns, serial vs sharded campaigns\n\n",
+              cores, patterns);
+
+  std::string reference;
+  std::vector<Measurement> rows;
+  for (const int threads : {1, 2, 4, 8}) {
+    const TestPlan plan =
+        TestPlan{}.withPatterns(patterns).withThreads(threads);
+    Stopwatch sw;
+    const SessionReport report = scheduler.run(plan);
+    Measurement m{threads, sw.seconds(), cores, report.total_tap_clocks};
+    rows.push_back(m);
+    if (threads == 1) {
+      reference = report.fingerprint();
+    } else if (report.fingerprint() != reference) {
+      std::fprintf(stderr,
+                   "FATAL: %d-shard campaign diverged from the serial "
+                   "reference\n", threads);
+      return 1;
+    }
+    std::printf("  %d shard(s)  %7.3fs  %7.2f cores/s  %10zu TCKs  %s\n",
+                m.threads, m.seconds, m.coresPerSec(), m.tap_clocks,
+                threads == 1 ? "(serial reference)" : "fingerprint OK");
+  }
+
+  double serial_s = 0.0;
+  double par4_s = 0.0;
+  for (const Measurement& m : rows) {
+    if (m.threads == 1) serial_s = m.seconds;
+    if (m.threads == 4) par4_s = m.seconds;
+  }
+  const double speedup4 = par4_s > 0 ? serial_s / par4_s : 0.0;
+
+  std::FILE* f = std::fopen("BENCH_soc.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_soc.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"%d-core SoC campaign, %d patterns\",\n",
+               cores, patterns);
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.4f, \"cores\": %d, "
+                 "\"cores_per_sec\": %.2f, \"tap_clocks\": %zu}%s\n",
+                 m.threads, m.seconds, m.cores, m.coresPerSec(), m.tap_clocks,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("\nspeedup at 4 shards vs serial: %.2fx "
+              "(hardware_concurrency=%u)\n-> BENCH_soc.json\n",
+              speedup4, std::thread::hardware_concurrency());
+  return 0;
+}

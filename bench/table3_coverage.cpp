@@ -93,6 +93,26 @@ int main(int argc, char** argv) {
                mc.bist.tdf_fc, mc.bist.cycles_tdf);
     }
 
+    // ---- BIST signature-qualified (MISR incl. aliasing) ----
+    // The rows above count output-observed detections; the shipped BIST
+    // only sees the MISR signature, so aliasing can hide a detected fault.
+    // signatureCoverage re-grades the universe with the module's MISR
+    // compaction model attached (full-length simulation, no dropping).
+    if (!quick || mc.slot != cs.m_cn) {
+      Stopwatch sw;
+      const auto sig =
+          cs.engine.signatureCoverage(mc.slot, u.faults, bist_cycles);
+      const double fc_sig = sig.misrCoverage();
+      std::printf("  %-10s %-4s  faults %7zu  FC %6.2f%%  cycles %8d  "
+                  "cpu %7.1fs   (aliasing loss %.2f pts off %.2f%% "
+                  "output-observed)\n",
+                  "BIST+MISR", "SAF", sig.total, fc_sig, bist_cycles,
+                  sw.seconds(), sig.coverage() - fc_sig, sig.coverage());
+    } else {
+      std::printf("  %-10s %-4s  skipped in --quick (full-length sim of "
+                  "%zu faults)\n", "BIST+MISR", "SAF", u.faults.size());
+    }
+
     // ---- Sequential (simulation-based ATPG, functional inputs only) ----
     {
       SeqAtpgOptions o;
@@ -141,6 +161,8 @@ int main(int argc, char** argv) {
       "\nShape checks (paper's qualitative claims):\n"
       "  * BIST SAF coverage above sequential-ATPG, near full-scan\n"
       "  * BIST TDF coverage above full-scan TDF (at-speed advantage)\n"
-      "  * BIST applies 1 pattern/clock: cycle counts orders below scan\n");
+      "  * BIST applies 1 pattern/clock: cycle counts orders below scan\n"
+      "  * MISR-qualified FC trails output-observed FC only by a small\n"
+      "    aliasing loss (the 16-bit MISR rarely masks a detection)\n");
   return 0;
 }

@@ -1,14 +1,19 @@
-// SoC-level test session (paper Fig. 1): the full case study.
+// SoC-level test campaign (paper Fig. 1): the full case study on the
+// plan-driven session layer.
 //
 // One SoC carries the Reconfigurable Serial LDPC decoder core (BIT_NODE +
 // CHECK_NODE + CONTROL_UNIT behind one BIST engine and one P1500 wrapper)
-// next to a second small UDL core. The external ATE talks TCK/TMS/TDI only:
-// core select, WCDR command delivery, at-speed BIST, WDR signature upload —
-// then locates an injected manufacturing defect down to the module.
+// next to a second small UDL core. A TestPlan describes the campaign —
+// pattern budgets, poll budgets, retry policy — and the SocTestScheduler
+// shards the cores across session channels, streaming progress through a
+// SessionObserver; the external ATE protocol underneath is still pure
+// TCK/TMS/TDI bit-banging. The injected manufacturing defect is located
+// down to the module from the structured SessionReport.
 #include <cstdio>
 #include <memory>
 
 #include "bist/constraint_gen.hpp"
+#include "core/scheduler.hpp"
 #include "core/soc.hpp"
 #include "ldpc/gatelevel.hpp"
 #include "netlist/builder.hpp"
@@ -29,8 +34,8 @@ Netlist makeUdlCore() {
 }  // namespace
 
 int main() {
-  std::printf("SoC test session: LDPC core + UDL behind one TAP\n");
-  std::printf("================================================\n\n");
+  std::printf("SoC test campaign: LDPC core + UDL behind one TAP\n");
+  std::printf("=================================================\n\n");
 
   Soc soc;
 
@@ -62,13 +67,14 @@ int main() {
                 eng.module(m).portWidth(false));
   }
 
-  SocTestSession session(soc);
-  const int patterns = 768;
+  // The campaign: every core, 768 patterns, on two shards — the two cores'
+  // golden signatures and at-speed runs are computed concurrently.
+  TestPlan plan = TestPlan{}.withPatterns(768).withThreads(2);
+  StreamObserver observer;
+  SocTestScheduler scheduler(soc, &observer);
 
   std::printf("\n--- wafer 1: all dies healthy ---\n");
-  for (const auto& r : session.testAll(patterns)) {
-    std::printf("%s\n", r.summary().c_str());
-  }
+  const SessionReport wafer1 = scheduler.run(plan);
 
   std::printf("\n--- wafer 2: defect injected into CHECK_NODE ---\n");
   // Pick a 2-input AND deep in the module and break it into an OR.
@@ -80,23 +86,45 @@ int main() {
     }
   }
   soc.core(ldpc_idx).injectDefect(1, victim, GateType::kOr);
-  const auto r_ldpc = session.testCore(ldpc_idx, patterns);
-  const auto r_udl = session.testCore(udl_idx, patterns);
-  std::printf("%s\n%s\n", r_ldpc.summary().c_str(), r_udl.summary().c_str());
+  const SessionReport wafer2 = scheduler.run(plan);
+
+  const CoreReport* r_ldpc = wafer2.core(ldpc_idx);
+  const CoreReport* r_udl = wafer2.core(udl_idx);
 
   std::printf("\ndiagnosis from the Output Selector read-out: ");
-  for (std::size_t m = 0; m < r_ldpc.modules.size(); ++m) {
-    if (!r_ldpc.modules[m].pass()) {
+  for (std::size_t m = 0; m < r_ldpc->modules.size(); ++m) {
+    if (!r_ldpc->modules[m].pass()) {
       std::printf("module %zu signature 0x%04X != golden 0x%04X -> the "
-                  "defect is in %s\n", m, r_ldpc.modules[m].signature,
-                  r_ldpc.modules[m].golden,
+                  "defect is in %s\n", m, r_ldpc->modules[m].signature,
+                  r_ldpc->modules[m].golden,
                   soc.core(ldpc_idx).engine().module(static_cast<int>(m))
                       .name().c_str());
     }
   }
-  const bool ok = !r_ldpc.pass && r_udl.pass && !r_ldpc.modules[1].pass() &&
-                  r_ldpc.modules[0].pass() && r_ldpc.modules[2].pass();
-  std::printf("\nexpected localization (CHECK_NODE only): %s\n",
-              ok ? "CONFIRMED" : "NOT confirmed");
+
+  // An impatient plan: poll before the run can finish, few polls, one
+  // retry. The report distinguishes this timeout from a bad signature.
+  std::printf("\n--- wafer 2 again, impatient ATE (forced timeout) ---\n");
+  TestPlan impatient;
+  impatient.cores.push_back(CorePlan{.core_index = udl_idx,
+                                     .patterns = 768,
+                                     .warmup_idle = 32,
+                                     .poll_budget = 2,
+                                     .poll_idle = 16,
+                                     .max_retries = 1});
+  const SessionReport rushed = SocTestScheduler(soc, &observer).run(impatient);
+
+  std::printf("\nwafer 2 campaign report (JSON):\n%s",
+              wafer2.toJson().c_str());
+
+  const bool ok = wafer1.pass() && !wafer2.pass() &&
+                  r_ldpc->verdict == CoreVerdict::kSignatureMismatch &&
+                  r_udl->verdict == CoreVerdict::kPass &&
+                  !r_ldpc->modules[1].pass() && r_ldpc->modules[0].pass() &&
+                  r_ldpc->modules[2].pass() &&
+                  rushed.cores[0].verdict == CoreVerdict::kTimeout &&
+                  rushed.cores[0].attempts == 2;
+  std::printf("\nexpected localization (CHECK_NODE only) + timeout "
+              "telemetry: %s\n", ok ? "CONFIRMED" : "NOT confirmed");
   return ok ? 0 : 1;
 }

@@ -34,9 +34,7 @@ BiasedConstraint::BiasedConstraint(int width, std::vector<BitBias> bias,
     : width_(width),
       bias_(std::move(bias)),
       lfsr_width_(lfsr_width),
-      seed_(seed),
-      cached_state_(0),
-      cached_cycle_(-1) {
+      seed_(seed) {
   if (static_cast<int>(bias_.size()) != width) {
     throw std::invalid_argument("BiasedConstraint: bias per bit required");
   }
@@ -71,22 +69,34 @@ std::uint64_t BiasedConstraint::valueForState(std::uint64_t state) const {
 }
 
 std::uint64_t BiasedConstraint::valueAt(std::int64_t cycle) const {
-  if (cycle < cached_cycle_ || cached_cycle_ < 0) {
-    Alfsr lfsr(lfsr_width_, seed_);
-    cached_state_ = lfsr.state();
-    cached_cycle_ = 0;
-    for (std::int64_t c = 0; c < cycle; ++c) {
-      cached_state_ = lfsr.step();
-      ++cached_cycle_;
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  // Resume from the closest cached walk at or before `cycle`.
+  Walk* slot = nullptr;
+  for (Walk& w : walks_) {
+    if (w.cycle >= 0 && w.cycle <= cycle &&
+        (slot == nullptr || w.cycle > slot->cycle)) {
+      slot = &w;
     }
-    return valueForState(cached_state_);
   }
-  Alfsr lfsr(lfsr_width_, cached_state_);
-  while (cached_cycle_ < cycle) {
-    cached_state_ = lfsr.step();
-    ++cached_cycle_;
+  if (slot == nullptr) {
+    // No usable resume point: restart from the seed in the stalest slot
+    // (unused slots have cycle -1 and are evicted first).
+    slot = &walks_[0];
+    for (Walk& w : walks_) {
+      if (w.cycle < slot->cycle) slot = &w;
+    }
+    Alfsr lfsr(lfsr_width_, seed_);
+    slot->state = lfsr.state();
+    slot->cycle = 0;
   }
-  return valueForState(cached_state_);
+  if (slot->cycle < cycle) {
+    Alfsr lfsr(lfsr_width_, slot->state);
+    while (slot->cycle < cycle) {
+      slot->state = lfsr.step();
+      ++slot->cycle;
+    }
+  }
+  return valueForState(slot->state);
 }
 
 std::string BiasedConstraint::describe() const {

@@ -10,8 +10,10 @@
 #ifndef COREBIST_BIST_CONSTRAINT_GEN_HPP_
 #define COREBIST_BIST_CONSTRAINT_GEN_HPP_
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -116,9 +118,18 @@ class BiasedConstraint final : public ConstraintGenerator {
   std::vector<BitBias> bias_;
   int lfsr_width_;
   std::uint64_t seed_;
-  // Sequential walk cache (valueAt is called with monotone cycles).
-  mutable std::uint64_t cached_state_;
-  mutable std::int64_t cached_cycle_;
+  // Sequential walk caches (valueAt is called with monotone cycles). Two
+  // independent resume points so two interleaved monotone walks — golden
+  // signatures of two cores sharing this CG instance, computed on
+  // different scheduler shards — both advance incrementally instead of
+  // replaying the LFSR from the seed on every call; the mutex keeps the
+  // walks safe to share.
+  struct Walk {
+    std::uint64_t state = 0;
+    std::int64_t cycle = -1;  // -1 = slot unused
+  };
+  mutable std::mutex cache_mu_;
+  mutable std::array<Walk, 2> walks_;
 };
 
 [[nodiscard]] Bus buildBiasedCgHw(Builder& b, const BiasedConstraint& cg,

@@ -85,8 +85,13 @@ std::vector<std::uint64_t> BistEngine::stimulus(int m, int cycles) const {
   Alfsr lfsr(cfg_.lfsr_width, taps_, cfg_.lfsr_seed);
   std::vector<std::uint64_t> out;
   out.reserve(static_cast<std::size_t>(cycles));
+  std::vector<std::uint64_t> cg_vals(h.cgs.size(), 0);
   for (int c = 0; c < cycles; ++c) {
     const std::uint64_t lw = lfsr.output();
+    // One valueAt per CG per cycle, not per constrained input bit.
+    for (std::size_t g = 0; g < h.cgs.size(); ++g) {
+      cg_vals[g] = h.cgs[g]->valueAt(c);
+    }
     std::uint64_t w = 0;
     for (std::size_t j = 0; j < h.map.size(); ++j) {
       const InputSource& src = h.map[j];
@@ -94,9 +99,7 @@ std::vector<std::uint64_t> BistEngine::stimulus(int m, int cycles) const {
       if (src.kind == InputSourceKind::kAlfsr) {
         bit = (lw >> src.index) & 1u;
       } else {
-        bit = (h.cgs[static_cast<std::size_t>(src.index)]->valueAt(c) >>
-               src.bit) &
-              1u;
+        bit = (cg_vals[static_cast<std::size_t>(src.index)] >> src.bit) & 1u;
       }
       w |= bit << j;
     }

@@ -1,0 +1,272 @@
+#include "core/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "tam/ate.hpp"
+#include "tam/tam.hpp"
+
+namespace corebist {
+namespace {
+
+/// Concretize a plan entry against the plan-wide defaults and validate it
+/// against the SoC.
+CorePlan resolveEntry(const TestPlan& plan, const CorePlan& entry, Soc& soc) {
+  CorePlan r = entry;
+  if (r.core_index < 0 || r.core_index >= soc.coreCount()) {
+    throw std::invalid_argument("TestPlan: no core with index " +
+                                std::to_string(r.core_index));
+  }
+  if (r.patterns <= 0) r.patterns = plan.patterns;
+  if (r.poll_budget <= 0) r.poll_budget = plan.poll_budget;
+  if (r.poll_idle <= 0) r.poll_idle = plan.poll_idle;
+  if (r.max_retries < 0) r.max_retries = plan.max_retries;
+  if (r.coverage_target < 0.0) r.coverage_target = plan.coverage_target;
+  if (r.warmup_idle < 0) r.warmup_idle = r.patterns + 4;
+  const int max_patterns =
+      soc.core(r.core_index).controlUnit().maxPatterns();
+  if (r.patterns < 1 || r.patterns > max_patterns) {
+    throw std::invalid_argument(
+        "TestPlan: core " + std::to_string(r.core_index) + " pattern budget " +
+        std::to_string(r.patterns) + " outside [1, " +
+        std::to_string(max_patterns) + "] (the WCDR count would truncate)");
+  }
+  return r;
+}
+
+std::vector<CorePlan> resolvePlan(const TestPlan& plan, Soc& soc) {
+  std::vector<CorePlan> entries;
+  if (plan.cores.empty()) {
+    entries.reserve(static_cast<std::size_t>(soc.coreCount()));
+    for (int c = 0; c < soc.coreCount(); ++c) {
+      entries.push_back(resolveEntry(plan, CorePlan{.core_index = c}, soc));
+    }
+  } else {
+    entries.reserve(plan.cores.size());
+    std::vector<char> seen(static_cast<std::size_t>(soc.coreCount()), 0);
+    for (const CorePlan& e : plan.cores) {
+      entries.push_back(resolveEntry(plan, e, soc));
+      // One entry per core: shards must never drive one wrapper twice
+      // concurrently, and serially a second entry would retest, not extend.
+      char& flag = seen[static_cast<std::size_t>(entries.back().core_index)];
+      if (flag != 0) {
+        throw std::invalid_argument(
+            "TestPlan: core " + std::to_string(entries.back().core_index) +
+            " listed more than once");
+      }
+      flag = 1;
+    }
+  }
+  return entries;
+}
+
+/// One shard's private test-access stack: a TAP replica configured like the
+/// chip TAP, a TAM routing the same wrappers under the same core indices,
+/// and the ATE protocol over them. Channels touch only the wrapper of the
+/// core they have selected, so different channels may run concurrently as
+/// long as no two test the same core at once.
+class SessionChannel {
+ public:
+  explicit SessionChannel(Soc& soc)
+      : soc_(soc),
+        tap_(soc.tap().irWidth(), soc.tap().idcode()),
+        tam_(tap_),
+        ate_(tap_) {
+    for (int c = 0; c < soc.coreCount(); ++c) {
+      WrappedCore* core = &soc.core(c);
+      tam_.attach(&core->wrapper(), [core] { core->systemClockTick(); });
+    }
+  }
+
+  CoreReport testCore(const CorePlan& p, SessionObserver* observer,
+                      std::mutex& observer_mu);
+
+ private:
+  void notify(std::mutex& mu, SessionObserver* obs, auto&& call) {
+    if (obs == nullptr) return;
+    const std::lock_guard<std::mutex> lock(mu);
+    call(*obs);
+  }
+  void measureCoverage(const WrappedCore& core, const CorePlan& p,
+                       CoreReport& report);
+
+  Soc& soc_;
+  TapController tap_;
+  Tam tam_;
+  P1500Ate ate_;
+};
+
+CoreReport SessionChannel::testCore(const CorePlan& p,
+                                    SessionObserver* observer,
+                                    std::mutex& observer_mu) {
+  CoreReport report;
+  report.core_index = p.core_index;
+  report.patterns = p.patterns;
+  WrappedCore& core = soc_.core(p.core_index);
+  report.core_name = core.name();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t tck0 = tap_.tckCount();
+
+  for (int attempt = 1; attempt <= 1 + p.max_retries; ++attempt) {
+    notify(observer_mu, observer, [&](SessionObserver& o) {
+      o.onCoreStart(p.core_index, attempt);
+    });
+    ++report.attempts;
+
+    ate_.reset();
+    ate_.selectCore(p.core_index);
+    ate_.sendCommand(BistCommand::kReset, 0);
+    ate_.sendCommand(BistCommand::kLoadCount,
+                     static_cast<std::uint16_t>(p.patterns));
+    ate_.sendCommand(BistCommand::kStart, 0);
+
+    // At-speed run while the ATE idles the TAP.
+    ate_.runIdle(static_cast<std::size_t>(p.warmup_idle));
+    report.bist_cycles += static_cast<std::size_t>(p.warmup_idle);
+
+    // Poll status until end_test or the budget runs out.
+    ate_.sendCommand(BistCommand::kSelectResult, P1500Ate::kStatusView);
+    bool end_test = false;
+    for (int poll = 0; poll < p.poll_budget && !end_test; ++poll) {
+      const std::uint16_t status = ate_.readWdr();
+      ++report.polls;
+      end_test = (status & P1500Ate::kStatusEndTest) != 0;
+      if (!end_test) {
+        ate_.runIdle(static_cast<std::size_t>(p.poll_idle));
+        report.bist_cycles += static_cast<std::size_t>(p.poll_idle);
+      }
+    }
+    if (end_test) {
+      report.end_test_seen = true;
+      break;
+    }
+    ++report.timeouts;
+    notify(observer_mu, observer, [&](SessionObserver& o) {
+      o.onCoreTimeout(p.core_index, attempt, attempt <= p.max_retries);
+    });
+  }
+
+  if (report.end_test_seen) {
+    // Upload each MISR signature through the Output Selector.
+    report.verdict = CoreVerdict::kPass;
+    for (int m = 0; m < core.moduleCount(); ++m) {
+      ate_.sendCommand(BistCommand::kSelectResult,
+                       static_cast<std::uint16_t>(m));
+      ModuleVerdict verdict;
+      verdict.signature = ate_.readWdr();
+      verdict.golden = core.goldenSignature(m, p.patterns);
+      if (!verdict.pass()) report.verdict = CoreVerdict::kSignatureMismatch;
+      report.modules.push_back(verdict);
+    }
+    if (p.coverage_target > 0.0) measureCoverage(core, p, report);
+  } else {
+    report.verdict = CoreVerdict::kTimeout;
+  }
+
+  report.tap_clocks = tap_.tckCount() - tck0;
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  notify(observer_mu, observer,
+         [&](SessionObserver& o) { o.onCoreFinish(report); });
+  return report;
+}
+
+void SessionChannel::measureCoverage(const WrappedCore& core,
+                                     const CorePlan& p, CoreReport& report) {
+  report.coverage_target = p.coverage_target;
+  for (int m = 0; m < core.moduleCount(); ++m) {
+    const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
+    // One fsim worker: the shard itself is the unit of parallelism.
+    const FaultSimResult r =
+        core.engine().signatureCoverage(m, u.faults, p.patterns, 1);
+    const double coverage = r.misrCoverage();
+    report.modules[static_cast<std::size_t>(m)].coverage = coverage;
+    if (coverage < p.coverage_target) report.coverage_met = false;
+  }
+}
+
+}  // namespace
+
+SessionReport SocTestScheduler::run(const TestPlan& plan) {
+  const std::vector<CorePlan> entries = resolvePlan(plan, soc_);
+  int threads = plan.num_threads == 0
+                    ? static_cast<int>(std::thread::hardware_concurrency())
+                    : plan.num_threads;
+  if (threads < 1) threads = 1;
+  if (threads > static_cast<int>(entries.size()) && !entries.empty()) {
+    threads = static_cast<int>(entries.size());
+  }
+
+  SessionReport report;
+  report.soc_name = soc_.name();
+  report.threads = threads;
+  report.cores.resize(entries.size());
+
+  std::mutex observer_mu;
+  if (observer_ != nullptr) {
+    observer_->onCampaignStart(static_cast<int>(entries.size()), threads);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (threads <= 1) {
+    SessionChannel channel(soc_);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      report.cores[i] = channel.testCore(entries[i], observer_, observer_mu);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        try {
+          SessionChannel channel(soc_);
+          for (std::size_t i = next.fetch_add(1); i < entries.size();
+               i = next.fetch_add(1)) {
+            report.cores[i] =
+                channel.testCore(entries[i], observer_, observer_mu);
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          next.store(entries.size());  // drain the queue
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const CoreReport& c : report.cores) {
+    report.total_tap_clocks += c.tap_clocks;
+    report.total_bist_cycles += c.bist_cycles;
+  }
+  // Chip-level TCK accounting stays continuous with the serial session.
+  soc_.tap().creditTcks(report.total_tap_clocks);
+
+  if (observer_ != nullptr) observer_->onCampaignFinish(report);
+  return report;
+}
+
+CoreReport SocTestScheduler::testCore(CorePlan entry) {
+  TestPlan plan;
+  plan.num_threads = 1;
+  plan.cores.push_back(entry);
+  return run(plan).cores.front();
+}
+
+}  // namespace corebist

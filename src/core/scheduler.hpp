@@ -1,0 +1,51 @@
+// Plan-driven concurrent SoC test campaigns (the sharded Fig. 1 ATE).
+//
+// SocTestScheduler consumes a TestPlan and shards its core entries across
+// worker threads. Each shard owns a private session channel — a TAP
+// controller replica, a TAM routing the same wrappers, and the P1500 ATE
+// protocol over them — so golden-signature computation and at-speed BIST
+// emulation for different cores run concurrently. Cores are independent
+// after Soc::attachCore (all mutable per-core state lives in the wrapper /
+// control unit / engine of that core, and a channel only ever cycles the
+// wrapper of its selected core), so the only cross-shard aggregation is
+// TCK accounting: per-core counts are summed into the SessionReport and
+// credited back to the chip TAP.
+//
+// Determinism: every CoreReport is a function of (core state, plan entry)
+// alone — each attempt starts from TAP reset and a BIST kReset — so
+// sharded campaigns are byte-identical to the serial path under any thread
+// count (SessionReport::fingerprint(); enforced by
+// tests/soc_scheduler_test.cpp).
+#ifndef COREBIST_CORE_SCHEDULER_HPP_
+#define COREBIST_CORE_SCHEDULER_HPP_
+
+#include "core/session_observer.hpp"
+#include "core/session_report.hpp"
+#include "core/soc.hpp"
+#include "core/test_plan.hpp"
+
+namespace corebist {
+
+class SocTestScheduler {
+ public:
+  /// `observer` (optional) receives serialized progress callbacks; it must
+  /// outlive the scheduler's run() calls.
+  explicit SocTestScheduler(Soc& soc, SessionObserver* observer = nullptr)
+      : soc_(soc), observer_(observer) {}
+
+  /// Run the campaign. Throws std::invalid_argument for plans that name
+  /// unknown cores or pattern budgets beyond a core's counter capacity.
+  [[nodiscard]] SessionReport run(const TestPlan& plan);
+
+  /// Single-core convenience: one entry, one shard, plan defaults for any
+  /// sentinel field.
+  [[nodiscard]] CoreReport testCore(CorePlan entry);
+
+ private:
+  Soc& soc_;
+  SessionObserver* observer_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_CORE_SCHEDULER_HPP_

@@ -1,0 +1,63 @@
+// Progress streaming for SoC test campaigns.
+//
+// The SocTestScheduler reports campaign progress through this callback
+// interface instead of printing: embedders plug in dashboards, loggers or
+// test probes. The scheduler serializes all observer calls under one mutex,
+// so implementations need no locking of their own; callbacks fire from
+// worker threads, in completion order (which is only deterministic for
+// single-shard campaigns).
+#ifndef COREBIST_CORE_SESSION_OBSERVER_HPP_
+#define COREBIST_CORE_SESSION_OBSERVER_HPP_
+
+#include <cstdio>
+
+#include "core/session_report.hpp"
+
+namespace corebist {
+
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+  virtual void onCampaignStart(int /*cores*/, int /*threads*/) {}
+  /// `attempt` is 1-based; > 1 means a retry after a timeout.
+  virtual void onCoreStart(int /*core_index*/, int /*attempt*/) {}
+  virtual void onCoreTimeout(int /*core_index*/, int /*attempt*/,
+                             bool /*will_retry*/) {}
+  virtual void onCoreFinish(const CoreReport& /*report*/) {}
+  virtual void onCampaignFinish(const SessionReport& /*report*/) {}
+};
+
+/// Prints one line per event to a stdio stream (default stdout).
+class StreamObserver final : public SessionObserver {
+ public:
+  explicit StreamObserver(std::FILE* out = stdout) : out_(out) {}
+
+  void onCampaignStart(int cores, int threads) override {
+    std::fprintf(out_, "[campaign] %d core(s) on %d shard(s)\n", cores,
+                 threads);
+  }
+  void onCoreStart(int core_index, int attempt) override {
+    if (attempt > 1) {
+      std::fprintf(out_, "[core %d] retry (attempt %d)\n", core_index,
+                   attempt);
+    }
+  }
+  void onCoreTimeout(int core_index, int attempt, bool will_retry) override {
+    std::fprintf(out_, "[core %d] attempt %d timed out%s\n", core_index,
+                 attempt, will_retry ? ", retrying" : "");
+  }
+  void onCoreFinish(const CoreReport& report) override {
+    std::fprintf(out_, "[core %d] %s\n", report.core_index,
+                 report.summary().c_str());
+  }
+  void onCampaignFinish(const SessionReport& report) override {
+    std::fprintf(out_, "[campaign] %s\n", report.summary().c_str());
+  }
+
+ private:
+  std::FILE* out_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_CORE_SESSION_OBSERVER_HPP_

@@ -1,0 +1,88 @@
+// Structured campaign results for the SoC session layer.
+//
+// Replaces the ad-hoc CoreTestReport: per-core verdicts distinguish a
+// signature mismatch from a status-poll timeout, retry/poll/TCK/at-speed
+// accounting is explicit, and whole-campaign reports serialize to JSON
+// (bench_soc -> BENCH_soc.json, CI artifact). Everything in a report except
+// wall-clock timing is a deterministic function of (SoC state, TestPlan);
+// fingerprint() serializes exactly that subset, which is how the scheduler
+// tests prove sharded and serial campaigns byte-identical.
+#ifndef COREBIST_CORE_SESSION_REPORT_HPP_
+#define COREBIST_CORE_SESSION_REPORT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corebist {
+
+/// Signature comparison for one module of a core (one MISR upload).
+struct ModuleVerdict {
+  std::uint16_t signature = 0;
+  std::uint16_t golden = 0;
+  /// Signature-qualified stuck-at coverage (%) including aliasing losses;
+  /// < 0 when the plan did not request coverage measurement.
+  double coverage = -1.0;
+  [[nodiscard]] bool pass() const noexcept { return signature == golden; }
+};
+
+/// How a core's test concluded. kTimeout means end_test was never observed
+/// within the plan's poll budget (on any attempt) — the signatures were
+/// never uploaded and the modules list is empty.
+enum class CoreVerdict : std::uint8_t {
+  kPass,
+  kSignatureMismatch,
+  kTimeout,
+};
+
+[[nodiscard]] std::string_view coreVerdictName(CoreVerdict v);
+
+/// Complete record of one core's campaign entry (all attempts).
+struct CoreReport {
+  int core_index = -1;
+  std::string core_name;
+  CoreVerdict verdict = CoreVerdict::kTimeout;
+  bool end_test_seen = false;
+  int patterns = 0;        // per-attempt pattern budget from the plan
+  int attempts = 0;        // protocol runs (1 + retries actually used)
+  int timeouts = 0;        // attempts that ended without end_test
+  int polls = 0;           // status-register reads across all attempts
+  std::vector<ModuleVerdict> modules;
+  std::size_t tap_clocks = 0;   // TCKs this core's session cost
+  std::size_t bist_cycles = 0;  // commanded Run-Test/Idle (at-speed) clocks
+  double seconds = 0.0;         // wall time (excluded from fingerprints)
+  double coverage_target = 0.0;  // 0 = no target requested
+  bool coverage_met = true;      // false only when a target was missed
+  [[nodiscard]] bool pass() const noexcept {
+    return verdict == CoreVerdict::kPass && coverage_met;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Whole-campaign report: per-core records in plan order plus aggregated
+/// TCK / at-speed accounting.
+struct SessionReport {
+  std::string soc_name;
+  int threads = 1;  // shards the campaign actually ran on
+  std::vector<CoreReport> cores;
+  std::size_t total_tap_clocks = 0;
+  std::size_t total_bist_cycles = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool pass() const noexcept;
+  [[nodiscard]] int passCount() const noexcept;
+  /// First record for `core_index`, or nullptr when the plan skipped it.
+  [[nodiscard]] const CoreReport* core(int core_index) const noexcept;
+  [[nodiscard]] std::string summary() const;
+  /// JSON export (timing included). Stable key order.
+  [[nodiscard]] std::string toJson() const;
+  /// Canonical serialization of the deterministic fields only (no wall
+  /// times, no thread count): equal fingerprints <=> identical campaign
+  /// outcomes, regardless of sharding.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_CORE_SESSION_REPORT_HPP_

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/scheduler.hpp"
+
 namespace corebist {
 
 Soc::Soc(std::string name) : name_(std::move(name)), tap_(4), tam_(tap_) {}
@@ -25,80 +27,35 @@ std::string CoreTestReport::summary() const {
   return os.str();
 }
 
-void SocTestSession::selectCore(int core_index) {
-  driver_.shiftIr(Tam::kIrSelect, soc_.tap().irWidth());
-  driver_.shiftDr(static_cast<std::uint64_t>(core_index), 8);
+namespace {
+CoreTestReport toLegacy(const CoreReport& r) {
+  CoreTestReport legacy;
+  legacy.core_index = r.core_index;
+  legacy.pass = r.pass();
+  legacy.end_test_seen = r.end_test_seen;
+  legacy.modules = r.modules;
+  legacy.tap_clocks = r.tap_clocks;
+  legacy.bist_cycles = r.bist_cycles;
+  return legacy;
 }
-
-void SocTestSession::loadWir(WirInstruction instr) {
-  driver_.shiftIr(Tam::kIrWirScan, soc_.tap().irWidth());
-  driver_.shiftDr(static_cast<std::uint64_t>(instr), P1500Wrapper::kWirBits);
-}
-
-void SocTestSession::sendCommand(BistCommand cmd, std::uint16_t data) {
-  loadWir(WirInstruction::kWsCdr);
-  driver_.shiftIr(Tam::kIrWdrScan, soc_.tap().irWidth());
-  const std::uint64_t word =
-      (static_cast<std::uint64_t>(data) << 3) |
-      static_cast<std::uint64_t>(cmd);
-  driver_.shiftDr(word, P1500Wrapper::kWcdrBits);
-}
-
-std::uint16_t SocTestSession::readWdr() {
-  loadWir(WirInstruction::kWsDr);
-  driver_.shiftIr(Tam::kIrWdrScan, soc_.tap().irWidth());
-  return static_cast<std::uint16_t>(
-      driver_.shiftDr(0, P1500Wrapper::kWdrBits));
-}
+}  // namespace
 
 CoreTestReport SocTestSession::testCore(int core_index, int patterns) {
-  CoreTestReport report;
-  report.core_index = core_index;
-  const std::size_t tck0 = soc_.tap().tckCount();
-
-  driver_.reset();
-  selectCore(core_index);
-  WrappedCore& core = soc_.core(core_index);
-
-  // Program and launch the BIST.
-  sendCommand(BistCommand::kReset, 0);
-  sendCommand(BistCommand::kLoadCount,
-              static_cast<std::uint16_t>(patterns));
-  sendCommand(BistCommand::kStart, 0);
-
-  // At-speed run while the ATE idles the TAP.
-  report.bist_cycles = static_cast<std::size_t>(patterns);
-  driver_.runIdle(static_cast<std::size_t>(patterns) + 4);
-
-  // Poll status until end_test (bit 1 of the status word).
-  sendCommand(BistCommand::kSelectResult, 3);  // 3 = status view
-  for (int poll = 0; poll < 4 && !report.end_test_seen; ++poll) {
-    const std::uint16_t status = readWdr();
-    report.end_test_seen = (status & 0x2u) != 0;
-    if (!report.end_test_seen) driver_.runIdle(16);
-  }
-
-  // Upload each MISR signature through the Output Selector.
-  report.pass = report.end_test_seen;
-  for (int m = 0; m < core.moduleCount(); ++m) {
-    sendCommand(BistCommand::kSelectResult,
-                static_cast<std::uint16_t>(m));
-    ModuleVerdict verdict;
-    verdict.signature = readWdr();
-    verdict.golden = core.goldenSignature(m, patterns);
-    report.pass = report.pass && verdict.pass();
-    report.modules.push_back(verdict);
-  }
-  report.tap_clocks = soc_.tap().tckCount() - tck0;
-  return report;
+  SocTestScheduler scheduler(soc_);
+  return toLegacy(scheduler.testCore(
+      CorePlan{.core_index = core_index, .patterns = patterns}));
 }
 
 std::vector<CoreTestReport> SocTestSession::testAll(int patterns) {
-  std::vector<CoreTestReport> reports;
-  for (int c = 0; c < soc_.coreCount(); ++c) {
-    reports.push_back(testCore(c, patterns));
-  }
-  return reports;
+  TestPlan plan;
+  plan.patterns = patterns;
+  plan.num_threads = 1;  // empty core list => every core, in index order
+  SocTestScheduler scheduler(soc_);
+  const SessionReport report = scheduler.run(plan);
+  std::vector<CoreTestReport> legacy;
+  legacy.reserve(report.cores.size());
+  for (const CoreReport& r : report.cores) legacy.push_back(toLegacy(r));
+  return legacy;
 }
 
 }  // namespace corebist

@@ -1,11 +1,11 @@
-// SoC assembly and complete ATE-style test sessions (paper Fig. 1).
+// SoC assembly and the session-layer entry points (paper Fig. 1).
 //
-// A Soc owns the chip TAP controller, the TAM and a set of wrapped cores;
-// SocTestSession is the "external ATE": it drives everything exclusively
-// through TCK/TMS/TDI bit-banging — select the core, program the pattern
-// count through the WCDR, start the BIST, idle the TAP while the engine
-// runs at speed, then upload every MISR signature through the WDR and
-// compare with the golden references.
+// A Soc owns the chip TAP controller, the TAM and a set of wrapped cores.
+// Test campaigns are described by a TestPlan (core/test_plan.hpp) and
+// executed by the SocTestScheduler (core/scheduler.hpp), which shards
+// independent cores across session channels; SocTestSession remains as a
+// thin compatibility shim over a single-shard plan for callers that just
+// want the classic blocking testCore / testAll calls.
 #ifndef COREBIST_CORE_SOC_HPP_
 #define COREBIST_CORE_SOC_HPP_
 
@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "core/session_report.hpp"
 #include "core/wrapped_core.hpp"
-#include "jtag/driver.hpp"
 #include "jtag/tap.hpp"
 #include "tam/tam.hpp"
 
@@ -27,6 +27,7 @@ class Soc {
   /// Add a finalized-on-attach wrapped core; returns the core index.
   int attachCore(std::unique_ptr<WrappedCore> core);
 
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] WrappedCore& core(int i) {
     return *cores_.at(static_cast<std::size_t>(i));
   }
@@ -43,12 +44,10 @@ class Soc {
   std::vector<std::unique_ptr<WrappedCore>> cores_;
 };
 
-struct ModuleVerdict {
-  std::uint16_t signature = 0;
-  std::uint16_t golden = 0;
-  [[nodiscard]] bool pass() const noexcept { return signature == golden; }
-};
-
+/// Legacy per-core report kept for source compatibility; new code should
+/// use CoreReport / SessionReport (core/session_report.hpp), which
+/// distinguish timeouts from signature mismatches and carry retry and
+/// coverage accounting.
 struct CoreTestReport {
   int core_index = -1;
   bool pass = false;
@@ -59,9 +58,11 @@ struct CoreTestReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Compatibility shim: the blocking, serial session API, now a thin
+/// wrapper over a single-shard SocTestScheduler plan.
 class SocTestSession {
  public:
-  explicit SocTestSession(Soc& soc) : soc_(soc), driver_(soc.tap()) {}
+  explicit SocTestSession(Soc& soc) : soc_(soc) {}
 
   /// Run the full P1500 BIST session on one core.
   [[nodiscard]] CoreTestReport testCore(int core_index, int patterns);
@@ -70,13 +71,7 @@ class SocTestSession {
   [[nodiscard]] std::vector<CoreTestReport> testAll(int patterns);
 
  private:
-  void selectCore(int core_index);
-  void loadWir(WirInstruction instr);
-  void sendCommand(BistCommand cmd, std::uint16_t data);
-  [[nodiscard]] std::uint16_t readWdr();
-
   Soc& soc_;
-  TapDriver driver_;
 };
 
 }  // namespace corebist

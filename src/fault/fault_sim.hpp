@@ -117,6 +117,19 @@ struct FaultSimResult {
                       : 100.0 * static_cast<double>(detected) /
                             static_cast<double>(total);
   }
+
+  /// Signature-qualified coverage (%): faults whose final MISR signature
+  /// differs from the good machine, i.e. coverage() minus aliasing losses.
+  /// Meaningful only for runs with `FaultSimOptions::misr` set.
+  [[nodiscard]] double misrCoverage() const {
+    std::size_t caught = 0;
+    for (const char d : misr_detect) {
+      if (d != 0) ++caught;
+    }
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(caught) /
+                            static_cast<double>(total);
+  }
 };
 
 /// Campaign stimulus: test patterns served as 64-lane blocks by index.

@@ -60,6 +60,12 @@ class TapController {
   [[nodiscard]] std::uint32_t idcode() const noexcept { return idcode_; }
   [[nodiscard]] std::size_t tckCount() const noexcept { return tcks_; }
 
+  /// Account TCKs spent on this controller's behalf by another channel.
+  /// Sharded SoC campaigns clock per-shard TAP replicas, then credit the
+  /// chip TAP with the aggregate so tckCount() stays the chip-level total
+  /// regardless of how a campaign was scheduled.
+  void creditTcks(std::size_t n) noexcept { tcks_ += n; }
+
   static constexpr std::uint32_t kBypass = 0xFFFFFFFFu;  // all-ones IR
   static constexpr std::uint32_t kIdcode = 0x1u;
 

@@ -1,0 +1,31 @@
+#include "tam/ate.hpp"
+
+#include "tam/tam.hpp"
+
+namespace corebist {
+
+void P1500Ate::selectCore(int core_index) {
+  driver_.shiftIr(Tam::kIrSelect, tap_.irWidth());
+  driver_.shiftDr(static_cast<std::uint64_t>(core_index), Tam::kSelectBits);
+}
+
+void P1500Ate::loadWir(WirInstruction instr) {
+  driver_.shiftIr(Tam::kIrWirScan, tap_.irWidth());
+  driver_.shiftDr(static_cast<std::uint64_t>(instr), P1500Wrapper::kWirBits);
+}
+
+void P1500Ate::sendCommand(BistCommand cmd, std::uint16_t data) {
+  loadWir(WirInstruction::kWsCdr);
+  driver_.shiftIr(Tam::kIrWdrScan, tap_.irWidth());
+  const std::uint64_t word =
+      (static_cast<std::uint64_t>(data) << 3) | static_cast<std::uint64_t>(cmd);
+  driver_.shiftDr(word, P1500Wrapper::kWcdrBits);
+}
+
+std::uint16_t P1500Ate::readWdr() {
+  loadWir(WirInstruction::kWsDr);
+  driver_.shiftIr(Tam::kIrWdrScan, tap_.irWidth());
+  return static_cast<std::uint16_t>(driver_.shiftDr(0, P1500Wrapper::kWdrBits));
+}
+
+}  // namespace corebist

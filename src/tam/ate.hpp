@@ -1,0 +1,60 @@
+// ATE-side P1500 access protocol over one TAP channel.
+//
+// The bit-banging sequences every session needs — select a core through the
+// TAM, load a wrapper WIR instruction, deliver a WCDR command, read the WDR
+// back — extracted from the old SocTestSession so the serial compatibility
+// shim and every scheduler shard drive the exact same protocol. One
+// P1500Ate owns one TapDriver over one TapController; it is not
+// thread-safe, but shards never share a channel.
+#ifndef COREBIST_TAM_ATE_HPP_
+#define COREBIST_TAM_ATE_HPP_
+
+#include <cstdint>
+
+#include "jtag/driver.hpp"
+#include "jtag/tap.hpp"
+#include "p1500/wrapper.hpp"
+
+namespace corebist {
+
+class P1500Ate {
+ public:
+  /// Result-select value that exposes the control-unit status word through
+  /// the WDR (the Output Selector's non-signature view).
+  static constexpr std::uint16_t kStatusView = 3;
+  /// end_test flag in the status word (bit 1).
+  static constexpr std::uint16_t kStatusEndTest = 0x2;
+
+  explicit P1500Ate(TapController& tap) : tap_(tap), driver_(tap) {}
+
+  /// Test-Logic-Reset then settle in Run-Test/Idle.
+  void reset() { driver_.reset(); }
+
+  /// Route the TAM to `core_index` (TAM_SELECT scan).
+  void selectCore(int core_index);
+
+  /// Load a WIR instruction into the selected core's wrapper.
+  void loadWir(WirInstruction instr);
+
+  /// Deliver a BIST command through the selected core's WCDR.
+  void sendCommand(BistCommand cmd, std::uint16_t data);
+
+  /// Read the selected core's WDR (status word or selected MISR).
+  [[nodiscard]] std::uint16_t readWdr();
+
+  /// Dwell in Run-Test/Idle: one system clock per TCK for the selected
+  /// core (the at-speed BIST run).
+  void runIdle(std::size_t cycles) { driver_.runIdle(cycles); }
+
+  [[nodiscard]] std::size_t tckCount() const noexcept {
+    return tap_.tckCount();
+  }
+
+ private:
+  TapController& tap_;
+  TapDriver driver_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_TAM_ATE_HPP_

@@ -2,14 +2,15 @@
 
 namespace corebist {
 
-Tam::Tam(TapController& tap) : select_shift_(8, false) { registerPorts(tap); }
+Tam::Tam(TapController& tap) : select_shift_(kSelectBits, false) {
+  registerPorts(tap);
+}
 
 P1500Wrapper* Tam::selectedWrapper() {
-  if (cores_.empty()) return nullptr;
-  const std::size_t i = static_cast<std::size_t>(selected_) < cores_.size()
-                            ? static_cast<std::size_t>(selected_)
-                            : 0;
-  return cores_[i].wrapper;
+  if (selected_ < 0 || static_cast<std::size_t>(selected_) >= cores_.size()) {
+    return nullptr;
+  }
+  return cores_[static_cast<std::size_t>(selected_)].wrapper;
 }
 
 int Tam::attach(P1500Wrapper* wrapper, std::function<void()> system_tick) {
@@ -19,11 +20,11 @@ int Tam::attach(P1500Wrapper* wrapper, std::function<void()> system_tick) {
 
 void Tam::registerPorts(TapController& tap) {
   auto idleTick = [this] {
-    if (cores_.empty()) return;
-    const std::size_t i = static_cast<std::size_t>(selected_) < cores_.size()
-                              ? static_cast<std::size_t>(selected_)
-                              : 0;
-    if (cores_[i].system_tick) cores_[i].system_tick();
+    if (selected_ < 0 || static_cast<std::size_t>(selected_) >= cores_.size()) {
+      return;
+    }
+    const auto& slot = cores_[static_cast<std::size_t>(selected_)];
+    if (slot.system_tick) slot.system_tick();
   };
 
   TapController::DrPort select_port;
@@ -49,7 +50,11 @@ void Tam::registerPorts(TapController& tap) {
       selected_ = static_cast<int>(v);
     }
   };
-  select_port.run_idle = idleTick;
+  // Deliberately no run_idle: the TAP passes through Run-Test/Idle on the
+  // way into the select DR scan, i.e. while the *previous* selection is
+  // still latched. Forwarding that clock would tick a core this channel
+  // does not own (a cross-shard data race under the sharded scheduler);
+  // system clocks flow only under the wrapper instructions below.
   tap.registerInstruction(kIrSelect, std::move(select_port));
 
   auto makeWrapperPort = [this, idleTick](bool select_wir) {

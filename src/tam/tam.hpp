@@ -25,6 +25,8 @@ class Tam {
   static constexpr std::uint32_t kIrSelect = 0x2;
   static constexpr std::uint32_t kIrWirScan = 0x3;
   static constexpr std::uint32_t kIrWdrScan = 0x4;
+  /// Width of the TAM_SELECT core-select data register.
+  static constexpr int kSelectBits = 8;
 
   explicit Tam(TapController& tap);
 
@@ -32,6 +34,10 @@ class Tam {
   /// pulsed once per Run-Test/Idle TCK while this core is selected.
   int attach(P1500Wrapper* wrapper, std::function<void()> system_tick = {});
 
+  /// Currently selected core; -1 until the first TAM_SELECT update. No
+  /// wrapper is cycled and no system clock is forwarded while nothing is
+  /// selected, so replica channels (core/scheduler.cpp) can never touch a
+  /// core they have not explicitly selected.
   [[nodiscard]] int selectedCore() const noexcept { return selected_; }
   [[nodiscard]] int coreCount() const noexcept {
     return static_cast<int>(cores_.size());
@@ -46,7 +52,7 @@ class Tam {
   void registerPorts(TapController& tap);
 
   std::vector<CoreSlot> cores_;
-  int selected_ = 0;
+  int selected_ = -1;
   std::vector<bool> select_shift_;
 };
 

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "bist/engine_hw.hpp"
+#include "core/scheduler.hpp"
 #include "core/soc.hpp"
 #include "ldpc/gatelevel.hpp"
 #include "p1500/wrapper_hw.hpp"
@@ -22,10 +23,11 @@ TEST(Integration, LdpcBitNodeFullSessionWithDefectLocalization) {
   const Netlist bn = ldpc::buildBitNode();
   core->addModule(bn);
   const int idx = soc.attachCore(std::move(core));
-  SocTestSession session(soc);
+  SocTestScheduler scheduler(soc);
+  const CorePlan entry{.core_index = idx, .patterns = 400};
 
-  const auto healthy = session.testCore(idx, 400);
-  EXPECT_TRUE(healthy.pass) << healthy.summary();
+  const CoreReport healthy = scheduler.testCore(entry);
+  EXPECT_EQ(healthy.verdict, CoreVerdict::kPass) << healthy.summary();
 
   // Break an AND gate somewhere in the accumulator datapath.
   GateId victim = 0;
@@ -36,8 +38,9 @@ TEST(Integration, LdpcBitNodeFullSessionWithDefectLocalization) {
     }
   }
   soc.core(idx).injectDefect(0, victim, GateType::kXor);
-  const auto defective = session.testCore(idx, 400);
-  EXPECT_FALSE(defective.pass) << defective.summary();
+  const CoreReport defective = scheduler.testCore(entry);
+  EXPECT_EQ(defective.verdict, CoreVerdict::kSignatureMismatch)
+      << defective.summary();
   EXPECT_TRUE(defective.end_test_seen);
 }
 

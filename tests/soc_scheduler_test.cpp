@@ -1,0 +1,255 @@
+// Plan-driven SoC test-campaign scheduler: determinism under sharding,
+// timeout/retry policy, coverage targets, observer streaming, JSON export
+// and the legacy SocTestSession shim.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/soc.hpp"
+#include "netlist/builder.hpp"
+
+namespace corebist {
+namespace {
+
+/// Small self-checking module; `twist` varies the structure so different
+/// cores carry genuinely different logic (and different signatures).
+Netlist makeToyModule(int twist) {
+  Netlist nl("toy" + std::to_string(twist));
+  Builder b(nl);
+  const Bus x = b.input("x", 12);
+  const Bus q = b.state("q", 12);
+  b.connect(q, b.bw(GateType::kXor, x, b.shiftConst(q, 1 + twist % 3)));
+  b.output("y", q);
+  b.output("p", Bus{b.reduceXor(q)});
+  nl.validate();
+  return nl;
+}
+
+/// A 6-core SoC: cores 1 and 4 defective, the rest healthy.
+std::unique_ptr<Soc> makeSoc() {
+  auto soc = std::make_unique<Soc>("shard_soc");
+  for (int c = 0; c < 6; ++c) {
+    auto core = std::make_unique<WrappedCore>("toy" + std::to_string(c));
+    core->addModule(makeToyModule(c));
+    soc->attachCore(std::move(core));
+  }
+  soc->core(1).injectDefect(0, 3, GateType::kXnor);
+  soc->core(4).injectDefect(0, 5, GateType::kNand);
+  return soc;
+}
+
+/// Mixed campaign: defaults for most cores, a forced timeout on core 2 (the
+/// poll budget ends long before 500 at-speed cycles have been delivered)
+/// and a retried forced timeout on core 5.
+TestPlan makeMixedPlan() {
+  TestPlan plan = TestPlan{}.withPatterns(300);
+  plan.addCore(0).addCore(1);
+  plan.addCore(CorePlan{.core_index = 2,
+                        .patterns = 500,
+                        .warmup_idle = 16,
+                        .poll_budget = 3,
+                        .poll_idle = 8});
+  plan.addCore(3).addCore(4);
+  plan.addCore(CorePlan{.core_index = 5,
+                        .patterns = 500,
+                        .warmup_idle = 16,
+                        .poll_budget = 2,
+                        .poll_idle = 8,
+                        .max_retries = 2});
+  return plan;
+}
+
+TEST(SocScheduler, ShardedReportsAreByteIdenticalToSerial) {
+  // The acceptance property: for ANY thread count, with and without
+  // injected defects and forced timeouts, the deterministic fingerprint of
+  // the campaign equals the serial (1-thread) reference byte for byte.
+  auto ref_soc = makeSoc();
+  TestPlan plan = makeMixedPlan().withThreads(1);
+  const std::string reference =
+      SocTestScheduler(*ref_soc).run(plan).fingerprint();
+  EXPECT_NE(reference.find("\"verdict\": \"timeout\""), std::string::npos);
+  EXPECT_NE(reference.find("\"verdict\": \"signature_mismatch\""),
+            std::string::npos);
+  EXPECT_NE(reference.find("\"verdict\": \"pass\""), std::string::npos);
+
+  for (const int threads : {2, 3, 6, 16}) {
+    auto soc = makeSoc();  // fresh SoC: identical initial state
+    const SessionReport report =
+        SocTestScheduler(*soc).run(makeMixedPlan().withThreads(threads));
+    EXPECT_EQ(report.fingerprint(), reference) << "threads=" << threads;
+  }
+}
+
+TEST(SocScheduler, RerunOnTheSameSocIsIdenticalToo) {
+  // Campaigns leave every core re-testable: running the same plan twice on
+  // one SoC (serial, then sharded) yields the same fingerprint.
+  auto soc = makeSoc();
+  SocTestScheduler scheduler(*soc);
+  const std::string first =
+      scheduler.run(makeMixedPlan().withThreads(1)).fingerprint();
+  const std::string second =
+      scheduler.run(makeMixedPlan().withThreads(4)).fingerprint();
+  EXPECT_EQ(first, second);
+}
+
+TEST(SocScheduler, TimeoutIsDistinguishedFromMismatchAndRetried) {
+  auto soc = makeSoc();
+  SocTestScheduler scheduler(*soc);
+  const SessionReport report = scheduler.run(makeMixedPlan());
+
+  const CoreReport* mismatch = report.core(1);
+  ASSERT_NE(mismatch, nullptr);
+  EXPECT_EQ(mismatch->verdict, CoreVerdict::kSignatureMismatch);
+  EXPECT_TRUE(mismatch->end_test_seen);
+  EXPECT_EQ(mismatch->timeouts, 0);
+  ASSERT_EQ(mismatch->modules.size(), 1u);
+
+  const CoreReport* timeout = report.core(2);
+  ASSERT_NE(timeout, nullptr);
+  EXPECT_EQ(timeout->verdict, CoreVerdict::kTimeout);
+  EXPECT_FALSE(timeout->end_test_seen);
+  EXPECT_TRUE(timeout->modules.empty());  // signatures were never uploaded
+  EXPECT_EQ(timeout->attempts, 1);
+  EXPECT_EQ(timeout->polls, 3);  // the full poll budget was spent
+
+  const CoreReport* retried = report.core(5);
+  ASSERT_NE(retried, nullptr);
+  EXPECT_EQ(retried->verdict, CoreVerdict::kTimeout);
+  EXPECT_EQ(retried->attempts, 3);  // 1 + max_retries
+  EXPECT_EQ(retried->timeouts, 3);
+  EXPECT_EQ(retried->polls, 6);  // poll budget per attempt
+
+  // A core that timed out with a starved plan passes with an adequate one.
+  const CoreReport recovered =
+      scheduler.testCore(CorePlan{.core_index = 2, .patterns = 500});
+  EXPECT_EQ(recovered.verdict, CoreVerdict::kPass) << recovered.summary();
+}
+
+TEST(SocScheduler, CoverageTargetIsMeasuredAndEnforced) {
+  auto soc = makeSoc();
+  SocTestScheduler scheduler(*soc);
+  const CoreReport measured = scheduler.testCore(
+      CorePlan{.core_index = 0, .patterns = 128, .coverage_target = 5.0});
+  EXPECT_EQ(measured.verdict, CoreVerdict::kPass);
+  ASSERT_EQ(measured.modules.size(), 1u);
+  EXPECT_GE(measured.modules[0].coverage, 5.0);
+  EXPECT_LE(measured.modules[0].coverage, 100.0);
+  EXPECT_TRUE(measured.coverage_met);
+  EXPECT_TRUE(measured.pass());
+
+  // An unreachable target fails the core even though the signature matched.
+  const CoreReport missed = scheduler.testCore(
+      CorePlan{.core_index = 0, .patterns = 128, .coverage_target = 100.5});
+  EXPECT_EQ(missed.verdict, CoreVerdict::kPass);
+  EXPECT_FALSE(missed.coverage_met);
+  EXPECT_FALSE(missed.pass());
+
+  // Without a target, coverage is not measured.
+  const CoreReport plain =
+      scheduler.testCore(CorePlan{.core_index = 0, .patterns = 128});
+  ASSERT_EQ(plain.modules.size(), 1u);
+  EXPECT_LT(plain.modules[0].coverage, 0.0);
+}
+
+class CountingObserver final : public SessionObserver {
+ public:
+  int campaign_start = 0;
+  int campaign_finish = 0;
+  int core_start = 0;
+  int core_timeout = 0;
+  int core_finish = 0;
+  void onCampaignStart(int, int) override { ++campaign_start; }
+  void onCoreStart(int, int) override { ++core_start; }
+  void onCoreTimeout(int, int, bool) override { ++core_timeout; }
+  void onCoreFinish(const CoreReport&) override { ++core_finish; }
+  void onCampaignFinish(const SessionReport&) override { ++campaign_finish; }
+};
+
+TEST(SocScheduler, ObserverSeesEveryEventExactlyOnce) {
+  for (const int threads : {1, 4}) {
+    auto soc = makeSoc();
+    CountingObserver observer;
+    SocTestScheduler scheduler(*soc, &observer);
+    const SessionReport report =
+        scheduler.run(makeMixedPlan().withThreads(threads));
+    EXPECT_EQ(observer.campaign_start, 1);
+    EXPECT_EQ(observer.campaign_finish, 1);
+    EXPECT_EQ(observer.core_finish, 6);
+    // attempts: 4 single-attempt cores + 1 (timeout, no retry) + 3 retries.
+    EXPECT_EQ(observer.core_start, 8);
+    EXPECT_EQ(observer.core_timeout, 4);
+    EXPECT_EQ(report.cores.size(), 6u);
+  }
+}
+
+TEST(SocScheduler, JsonExportCarriesTheCampaignStructure) {
+  auto soc = makeSoc();
+  const SessionReport report = SocTestScheduler(*soc).run(makeMixedPlan());
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"soc\": \"shard_soc\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_tap_clocks\""), std::string::npos);
+  EXPECT_NE(json.find("\"signature\": \"0x"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"timeout\""), std::string::npos);
+  // The fingerprint is the JSON minus wall-clock fields.
+  const std::string fp = report.fingerprint();
+  EXPECT_EQ(fp.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_EQ(fp.find("\"seconds\""), std::string::npos);
+  EXPECT_EQ(fp.find("\"threads\""), std::string::npos);
+}
+
+TEST(SocScheduler, InvalidPlansAreRejectedUpFront) {
+  auto soc = makeSoc();
+  SocTestScheduler scheduler(*soc);
+  TestPlan bad_core;
+  bad_core.addCore(99);
+  EXPECT_THROW((void)scheduler.run(bad_core), std::invalid_argument);
+
+  // A pattern budget beyond the 12-bit counter would silently truncate in
+  // the WCDR; the plan resolver rejects it instead.
+  TestPlan bad_budget = TestPlan{}.withPatterns(5000);
+  EXPECT_THROW((void)scheduler.run(bad_budget), std::invalid_argument);
+
+  // A core listed twice could put one wrapper on two shards concurrently.
+  TestPlan duplicate;
+  duplicate.addCore(3).addCore(3);
+  EXPECT_THROW((void)scheduler.run(duplicate), std::invalid_argument);
+}
+
+TEST(SocScheduler, LegacyShimMatchesSchedulerResults) {
+  auto soc_a = makeSoc();
+  auto soc_b = makeSoc();
+  SocTestSession session(*soc_a);
+  SocTestScheduler scheduler(*soc_b);
+  const std::vector<CoreTestReport> legacy = session.testAll(300);
+  const SessionReport modern =
+      scheduler.run(TestPlan{}.withPatterns(300).withThreads(3));
+  ASSERT_EQ(legacy.size(), modern.cores.size());
+  for (std::size_t c = 0; c < legacy.size(); ++c) {
+    EXPECT_EQ(legacy[c].pass, modern.cores[c].pass());
+    EXPECT_EQ(legacy[c].tap_clocks, modern.cores[c].tap_clocks);
+    EXPECT_EQ(legacy[c].bist_cycles, modern.cores[c].bist_cycles);
+    ASSERT_EQ(legacy[c].modules.size(), modern.cores[c].modules.size());
+    for (std::size_t m = 0; m < legacy[c].modules.size(); ++m) {
+      EXPECT_EQ(legacy[c].modules[m].signature,
+                modern.cores[c].modules[m].signature);
+      EXPECT_EQ(legacy[c].modules[m].golden,
+                modern.cores[c].modules[m].golden);
+    }
+  }
+}
+
+TEST(SocScheduler, ChipTapIsCreditedWithCampaignTcks) {
+  auto soc = makeSoc();
+  const std::size_t before = soc->tap().tckCount();
+  const SessionReport report =
+      SocTestScheduler(*soc).run(TestPlan{}.withPatterns(200).withThreads(2));
+  EXPECT_EQ(soc->tap().tckCount() - before, report.total_tap_clocks);
+}
+
+}  // namespace
+}  // namespace corebist
