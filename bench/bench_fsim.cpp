@@ -1,20 +1,27 @@
-// Fault-simulation kernel throughput: serial engines vs ParallelFaultSim
-// on the Table 3 BIST workload. Emits BENCH_fsim.json (current directory)
-// so the patterns/sec trajectory is tracked from PR to PR.
+// Fault-simulation kernel throughput: serial engines vs ParallelFaultSim,
+// and the wide-lane (W x 64 pattern) comb kernel sweep, on the Table 3
+// BIST workload. Emits BENCH_fsim.json (current directory) so the
+// patterns/sec trajectory is tracked from PR to PR.
 //
 // Metrics: patterns_per_sec counts applied stimulus patterns per second of
 // wall time; mfault_patterns_per_sec counts fault x pattern grading work
-// (faults * cycles / seconds / 1e6), the throughput that fault dropping and
-// threading actually scale.
+// (faults * cycles / seconds / 1e6), the throughput that fault dropping,
+// threading and lane widening actually scale. Every row is the median (and
+// min) of `repeats` runs — single-shot timings on shared runners are noise,
+// not measurements. Before any wide-lane row is reported its results are
+// checked byte-identical to the 64-lane reference.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "case_study.hpp"
+#include "fault/comb_fsim.hpp"
 #include "fault/fault.hpp"
 #include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
+#include "scan/scan.hpp"
 
 using namespace corebist;
 using namespace corebist::bench;
@@ -24,20 +31,28 @@ namespace {
 struct Measurement {
   std::string engine;
   int threads = 1;
-  double seconds = 0.0;
+  int lane_words = 0;  // 0 => not a lane-parallel engine (fault-parallel)
+  Timing t;
   std::size_t faults = 0;
   int cycles = 0;
   std::size_t detected = 0;
 
   [[nodiscard]] double patternsPerSec() const {
-    return seconds > 0 ? static_cast<double>(cycles) / seconds : 0.0;
+    return t.median > 0 ? static_cast<double>(cycles) / t.median : 0.0;
   }
   [[nodiscard]] double mfaultPatternsPerSec() const {
-    return seconds > 0 ? static_cast<double>(faults) *
-                             static_cast<double>(cycles) / seconds / 1e6
-                       : 0.0;
+    return t.median > 0 ? static_cast<double>(faults) *
+                              static_cast<double>(cycles) / t.median / 1e6
+                        : 0.0;
   }
 };
+
+void printRow(const Measurement& m) {
+  std::printf("  %-11s %d thr  %d lw  %7.3fs med (%7.3fs min)  "
+              "%10.0f patterns/s  %8.2f Mfault-patterns/s  (%zu detected)\n",
+              m.engine.c_str(), m.threads, m.lane_words, m.t.median, m.t.min,
+              m.patternsPerSec(), m.mfaultPatternsPerSec(), m.detected);
+}
 
 }  // namespace
 
@@ -46,87 +61,158 @@ int main(int argc, char** argv) {
   printHeader("Fault-simulation kernel throughput (BENCH_fsim.json)");
   CaseStudy cs;
 
+  const int repeats = quick ? 3 : 5;
   const int cycles = quick ? 256 : 1024;
+  const int comb_cycles = quick ? 1024 : 4096;
   // CHECK_NODE dominates wall time; quick mode keeps the two small modules.
-  std::vector<int> slots = {cs.m_bn, cs.m_cu};
-  if (!quick) slots.push_back(cs.m_cn);
+  struct Slot {
+    int slot;
+    std::vector<int> chains;  // scan-chain partition for the comb view
+  };
+  std::vector<Slot> slots = {{cs.m_bn, {}}, {cs.m_cu, {14, 28}}};
+  if (!quick) slots.push_back({cs.m_cn, {}});
 
   std::vector<Measurement> rows;
-  for (const int slot : slots) {
-    const Netlist& nl = cs.module(slot);
+  bool wide_identical = true;
+  for (const Slot& sl : slots) {
+    const Netlist& nl = cs.module(sl.slot);
     const FaultUniverse u = enumerateStuckAt(nl);
-    const auto stim = cs.engine.stimulus(slot, cycles);
+    const auto stim = cs.engine.stimulus(sl.slot, cycles);
     const CyclePatternSource patterns(stim, nl.primaryInputs().size());
     FaultSimOptions o;
     o.cycles = cycles;
 
+    std::printf("\n%s: %zu faults, %d cycles (sequential at-speed view)\n",
+                nl.name().c_str(), u.faults.size(), cycles);
     {
       SeqFaultSim serial(nl);
       SeqFsimOptions so = o;
       so.num_threads = 1;
-      Stopwatch sw;
-      const auto r = serial.run(u.faults, stim, so);
-      rows.push_back({"serial", 1, sw.seconds(), u.faults.size(), cycles,
-                      r.detected});
+      std::size_t detected = 0;
+      const Timing t = timeRepeats(repeats, [&] {
+        detected = serial.run(u.faults, stim, so).detected;
+      });
+      rows.push_back(
+          {"seq-serial", 1, 0, t, u.faults.size(), cycles, detected});
+      printRow(rows.back());
     }
     for (const int threads : {1, 2, 4, 8}) {
       ParallelFsimOptions popts;
       popts.num_threads = threads;
       ParallelFaultSim psim(SeqFaultSim{nl}, popts);
-      Stopwatch sw;
-      const auto r = psim.run(u.faults, patterns, o);
-      rows.push_back({"parallel", threads, sw.seconds(), u.faults.size(),
-                      cycles, r.detected});
+      std::size_t detected = 0;
+      const Timing t = timeRepeats(repeats, [&] {
+        detected = psim.run(u.faults, patterns, o).detected;
+      });
+      rows.push_back(
+          {"seq-parallel", threads, 0, t, u.faults.size(), cycles, detected});
+      printRow(rows.back());
     }
 
-    std::printf("\n%s: %zu faults, %d cycles\n", nl.name().c_str(),
-                u.faults.size(), cycles);
-    for (auto it = rows.end() - 5; it != rows.end(); ++it) {
-      std::printf("  %-8s %d thread(s)  %7.3fs  %10.0f patterns/s  "
-                  "%8.2f Mfault-patterns/s  (%zu detected)\n",
-                  it->engine.c_str(), it->threads, it->seconds,
-                  it->patternsPerSec(), it->mfaultPatternsPerSec(),
-                  it->detected);
+    // Wide-lane sweep on the full-scan comb view of the same module: the
+    // same stuck-at grading the ATPG bootstrap and dictionary flows run.
+    const Netlist scanned = buildScannedModule(nl, sl.chains);
+    const ScanView view = makeScanView(scanned, sl.chains);
+    const FaultUniverse su = enumerateStuckAt(scanned);
+    const RandomPatternSource comb_patterns(0xB15D ^ sl.slot,
+                                            view.inputs.size(), comb_cycles);
+    FaultSimOptions co;
+    co.cycles = comb_cycles;
+    co.prepass_cycles = 0;
+    // Full-length grading: mfault_patterns_per_sec divides faults * cycles
+    // by wall time, which is only the real work when no fault drops early.
+    // (Dropping campaigns are covered by the seq rows above; dictionary and
+    // diagnosis flows run the comb kernel full-length exactly like this.)
+    co.drop_detected = false;
+    std::printf("%s: %zu faults, %d patterns (full-scan comb view, "
+                "lane sweep)\n",
+                scanned.name().c_str(), su.faults.size(), comb_cycles);
+    FaultSimResult ref;
+    auto sweepOne = [&](auto width_tag) {
+      constexpr int W = decltype(width_tag)::value;
+      CombFaultSimT<W> fsim(scanned, view.inputs, view.observed);
+      FaultSimResult r;
+      const Timing t = timeRepeats(
+          repeats, [&] { r = fsim.run(su.faults, comb_patterns, co); });
+      if (W == 1) {
+        ref = r;
+      } else if (r.first_detect != ref.first_detect ||
+                 r.patterns_applied != ref.patterns_applied) {
+        std::fprintf(stderr,
+                     "FATAL: %d-lane kernel diverged from the 64-lane "
+                     "reference on %s\n",
+                     64 * W, scanned.name().c_str());
+        wide_identical = false;
+      }
+      rows.push_back({"comb-wide", 1, W, t, su.faults.size(), comb_cycles,
+                      r.detected});
+      printRow(rows.back());
+    };
+    sweepOne(std::integral_constant<int, 1>{});
+    sweepOne(std::integral_constant<int, 2>{});
+    sweepOne(std::integral_constant<int, 4>{});
+    if constexpr (kLaneWords != 1 && kLaneWords != 2 && kLaneWords != 4) {
+      // Non-default builds: keep the aggregate speedup (lane_words ==
+      // kLaneWords below) meaningful.
+      sweepOne(std::integral_constant<int, kLaneWords>{});
     }
   }
+  if (!wide_identical) return 1;
 
-  // Aggregate speedup at 4 threads over serial (summed wall time).
-  double serial_s = 0.0;
-  double par4_s = 0.0;
+  // Aggregate speedups over summed median wall time (same work per row).
+  double seq_serial_s = 0.0;
+  double seq_par4_s = 0.0;
+  double comb_w1_s = 0.0;
+  double comb_wide_s = 0.0;
   for (const auto& r : rows) {
-    if (r.engine == "serial") serial_s += r.seconds;
-    if (r.engine == "parallel" && r.threads == 4) par4_s += r.seconds;
+    if (r.engine == "seq-serial") seq_serial_s += r.t.median;
+    if (r.engine == "seq-parallel" && r.threads == 4) {
+      seq_par4_s += r.t.median;
+    }
+    if (r.engine == "comb-wide" && r.lane_words == 1) comb_w1_s += r.t.median;
+    if (r.engine == "comb-wide" && r.lane_words == kLaneWords) {
+      comb_wide_s += r.t.median;
+    }
   }
-  const double speedup4 = par4_s > 0 ? serial_s / par4_s : 0.0;
+  const double speedup4 = seq_par4_s > 0 ? seq_serial_s / seq_par4_s : 0.0;
+  const double wide_speedup = comb_wide_s > 0 ? comb_w1_s / comb_wide_s : 0.0;
 
   std::FILE* f = std::fopen("BENCH_fsim.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_fsim.json for writing\n");
     return 1;
   }
-  std::fprintf(f, "{\n  \"workload\": \"table3 BIST stuck-at, %d cycles\",\n",
-               cycles);
+  std::fprintf(f, "{\n  \"workload\": \"table3 BIST stuck-at, %d cycles "
+               "(seq) / %d patterns (comb)\",\n",
+               cycles, comb_cycles);
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
   std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
+  std::fprintf(f, "  \"wide_speedup_vs_64lane\": %.3f,\n", wide_speedup);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     std::fprintf(f,
-                 "    {\"engine\": \"%s\", \"threads\": %d, \"faults\": %zu, "
-                 "\"cycles\": %d, \"seconds\": %.4f, "
+                 "    {\"engine\": \"%s\", \"threads\": %d, "
+                 "\"lane_words\": %d, \"faults\": %zu, \"cycles\": %d, "
+                 "\"seconds_median\": %.4f, \"seconds_min\": %.4f, "
                  "\"patterns_per_sec\": %.1f, "
                  "\"mfault_patterns_per_sec\": %.3f, \"detected\": %zu}%s\n",
-                 r.engine.c_str(), r.threads, r.faults, r.cycles, r.seconds,
-                 r.patternsPerSec(), r.mfaultPatternsPerSec(), r.detected,
+                 r.engine.c_str(), r.threads, r.lane_words, r.faults,
+                 r.cycles, r.t.median, r.t.min, r.patternsPerSec(),
+                 r.mfaultPatternsPerSec(), r.detected,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
-  std::printf("\nspeedup at 4 threads vs serial: %.2fx "
-              "(hardware_concurrency=%u)\n-> BENCH_fsim.json\n",
-              speedup4, std::thread::hardware_concurrency());
+  std::printf("\nspeedup at 4 threads vs serial (seq): %.2fx\n"
+              "wide %d-lane kernel vs 64-lane (comb): %.2fx\n"
+              "(hardware_concurrency=%u, repeats=%d)\n-> BENCH_fsim.json\n",
+              speedup4, 64 * kLaneWords, wide_speedup,
+              std::thread::hardware_concurrency(), repeats);
   return 0;
 }

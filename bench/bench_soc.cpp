@@ -1,6 +1,8 @@
 // SoC session-layer throughput: serial vs sharded test campaigns on the
 // SocTestScheduler. Emits BENCH_soc.json (current directory) so the
 // cores/sec trajectory is tracked from PR to PR alongside BENCH_fsim.json.
+// Every row is the median (and min) of `repeats` runs: single-shot timings
+// on shared/single-core runners produced nonsense speedup ratios.
 //
 // The workload is a many-core SoC of mid-sized wrapped cores (two modules
 // each); every campaign runs the full bit-banged protocol — TAP reset, TAM
@@ -9,6 +11,7 @@
 // Before timing anything the bench proves the sharded fingerprints equal
 // the serial reference, so the numbers are only reported for campaigns
 // that are byte-identical.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -52,11 +55,13 @@ std::unique_ptr<Soc> makeSoc(int cores) {
 
 struct Measurement {
   int threads = 1;
-  double seconds = 0.0;
+  double seconds_median = 0.0;
+  double seconds_min = 0.0;
   int cores = 0;
   std::size_t tap_clocks = 0;
   [[nodiscard]] double coresPerSec() const {
-    return seconds > 0 ? static_cast<double>(cores) / seconds : 0.0;
+    return seconds_median > 0 ? static_cast<double>(cores) / seconds_median
+                              : 0.0;
   }
 };
 
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
 
   const int cores = quick ? 6 : 12;
   const int patterns = quick ? 256 : 1024;
+  const int repeats = quick ? 3 : 5;
   auto soc = makeSoc(cores);
   SocTestScheduler scheduler(*soc);
 
@@ -79,28 +85,37 @@ int main(int argc, char** argv) {
   for (const int threads : {1, 2, 4, 8}) {
     const TestPlan plan =
         TestPlan{}.withPatterns(patterns).withThreads(threads);
-    Stopwatch sw;
-    const SessionReport report = scheduler.run(plan);
-    Measurement m{threads, sw.seconds(), cores, report.total_tap_clocks};
-    rows.push_back(m);
-    if (threads == 1) {
-      reference = report.fingerprint();
-    } else if (report.fingerprint() != reference) {
+    bool diverged = false;
+    SessionReport report;
+    const Timing t = timeRepeats(repeats, [&] {
+      report = scheduler.run(plan);
+      if (reference.empty()) {
+        reference = report.fingerprint();
+      } else if (report.fingerprint() != reference) {
+        diverged = true;
+      }
+    });
+    if (diverged) {
       std::fprintf(stderr,
                    "FATAL: %d-shard campaign diverged from the serial "
                    "reference\n", threads);
       return 1;
     }
-    std::printf("  %d shard(s)  %7.3fs  %7.2f cores/s  %10zu TCKs  %s\n",
-                m.threads, m.seconds, m.coresPerSec(), m.tap_clocks,
+    Measurement m{threads, t.median, t.min, cores,
+                  report.total_tap_clocks};
+    rows.push_back(m);
+    std::printf("  %d shard(s)  %7.3fs med (%7.3fs min)  %7.2f cores/s  "
+                "%10zu TCKs  %s\n",
+                m.threads, m.seconds_median, m.seconds_min, m.coresPerSec(),
+                m.tap_clocks,
                 threads == 1 ? "(serial reference)" : "fingerprint OK");
   }
 
   double serial_s = 0.0;
   double par4_s = 0.0;
   for (const Measurement& m : rows) {
-    if (m.threads == 1) serial_s = m.seconds;
-    if (m.threads == 4) par4_s = m.seconds;
+    if (m.threads == 1) serial_s = m.seconds_median;
+    if (m.threads == 4) par4_s = m.seconds_median;
   }
   const double speedup4 = par4_s > 0 ? serial_s / par4_s : 0.0;
 
@@ -114,14 +129,17 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Measurement& m = rows[i];
     std::fprintf(f,
-                 "    {\"threads\": %d, \"seconds\": %.4f, \"cores\": %d, "
+                 "    {\"threads\": %d, \"seconds_median\": %.4f, "
+                 "\"seconds_min\": %.4f, \"cores\": %d, "
                  "\"cores_per_sec\": %.2f, \"tap_clocks\": %zu}%s\n",
-                 m.threads, m.seconds, m.cores, m.coresPerSec(), m.tap_clocks,
+                 m.threads, m.seconds_median, m.seconds_min, m.cores,
+                 m.coresPerSec(), m.tap_clocks,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -5,10 +5,12 @@
 #ifndef COREBIST_BENCH_CASE_STUDY_HPP_
 #define COREBIST_BENCH_CASE_STUDY_HPP_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bist/engine.hpp"
 #include "ldpc/gatelevel.hpp"
@@ -114,6 +116,27 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point t0_;
 };
+
+/// Median (middle of the sorted times) and min of `repeats` timed runs of
+/// `fn`. Single-shot timings on shared runners are noise, not measurements;
+/// every BENCH_*.json row goes through this.
+struct Timing {
+  double median = 0.0;
+  double min = 0.0;
+};
+
+template <typename Fn>
+Timing timeRepeats(int repeats, Fn&& fn) {
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch sw;
+    fn();
+    secs.push_back(sw.seconds());
+  }
+  std::sort(secs.begin(), secs.end());
+  return Timing{secs[secs.size() / 2], secs.front()};
+}
 
 /// True when "--quick" is on the command line (smoke-test scale).
 inline bool quickMode(int argc, char** argv) {

@@ -73,6 +73,10 @@ FullScanAtpgResult runFullScanAtpg(const Netlist& scanned,
 
   // Phase 2: PODEM on survivors under the CPU budget. Generated tests are
   // collected into blocks and fault-simulated to drop collateral detections.
+  // The hand-packed confirmation blocks never exceed 64 patterns, so they
+  // run on the 64-lane kernel — the wide kernel would evaluate all-masked
+  // upper lane words for nothing.
+  CombFaultSimT<1> confirm_fsim(scanned, view.inputs, view.observed);
   Podem podem(scanned, view.inputs, view.observed, opts.backtrack_limit);
   PatternBlock pending;
   pending.inputs.assign(view.inputs.size(), 0);
@@ -80,10 +84,10 @@ FullScanAtpgResult runFullScanAtpg(const Netlist& scanned,
   auto flushPending = [&] {
     if (pending_count == 0) return;
     pending.count = pending_count;
-    fsim.loadBlock(pending);
+    confirm_fsim.loadBlock(pending);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (detected[i]) continue;
-      if (fsim.detect(faults[i]) != 0) detected[i] = 1;
+      if (confirm_fsim.detect(faults[i]).any()) detected[i] = 1;
     }
     res.patterns += static_cast<std::size_t>(pending_count);
     pending_count = 0;
@@ -128,7 +132,8 @@ FullScanAtpgResult runFullScanTransition(const Netlist& scanned,
   FullScanAtpgResult res;
   res.total_faults = tdf_faults.size();
 
-  CombFaultSim fsim(scanned, view.inputs, view.observed);
+  // LOS pair blocks are hand-built 64-pattern blocks: 64-lane kernel.
+  CombFaultSimT<1> fsim(scanned, view.inputs, view.observed);
   std::vector<char> detected(tdf_faults.size(), 0);
   std::mt19937_64 rng(opts.seed ^ 0x7D0F0ull);
   std::size_t live = tdf_faults.size();
@@ -142,7 +147,7 @@ FullScanAtpgResult runFullScanTransition(const Netlist& scanned,
     std::size_t newly = 0;
     for (std::size_t i = 0; i < tdf_faults.size(); ++i) {
       if (detected[i]) continue;
-      if (fsim.detect(tdf_faults[i]) != 0) {
+      if (fsim.detect(tdf_faults[i]).any()) {
         detected[i] = 1;
         ++newly;
         --live;

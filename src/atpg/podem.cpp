@@ -155,12 +155,12 @@ bool Podem::pickObjective(NetId& net, Tv& val) const {
   // 2) Advance the D-frontier: find a gate with a divergent input and an
   // unknown output; ask for a non-controlling value on an X input.
   const auto& gates = nl_.gates();
-  const auto& readers = nl_.readers();
+  const ReaderCsr& readers = nl_.readerCsr();
   for (NetId n = 0; n < nl_.numNets(); ++n) {
     const Tv g = gval_[n];
     const Tv f = fval_[n];
     if (g == Tv::kX || f == Tv::kX || g == f) continue;
-    for (const NetReader& r : readers[n]) {
+    for (const NetReader& r : readers.of(n)) {
       const Gate& gate = gates[r.gate];
       if (gval_[gate.out] != Tv::kX && fval_[gate.out] != Tv::kX &&
           gval_[gate.out] != fval_[gate.out]) {

@@ -1,11 +1,19 @@
-// Pattern-parallel (PPSFP) combinational fault simulation.
+// Pattern-parallel (PPSFP) combinational fault simulation, wide-lane.
 //
 // Used for the full-scan view of a module: scan cells turn flip-flops into
 // pseudo-PIs/pseudo-POs, so each test pattern is one combinational vector.
-// 64 patterns are packed per block; faults are simulated one at a time with
-// event-driven forward propagation from the fault site (only the affected
-// cone is re-evaluated), which is the classic single-fault-propagation
-// scheme TetraMax-class tools use.
+// W * 64 patterns are packed per block (LaneWord<W> per net); faults are
+// simulated one at a time with event-driven forward propagation from the
+// fault site (only the affected cone is re-evaluated), which is the classic
+// single-fault-propagation scheme TetraMax-class tools use — widened so one
+// propagation pass grades W * 64 patterns and the per-gate bookkeeping
+// (level buckets, stamps, CSR fanout walks) is amortized across all lanes.
+//
+// Results are byte-identical at every W: lane indices map to global pattern
+// indices, wide stimulus fills decompose into the same per-64-lane sub-block
+// fills narrow kernels issue, and the stall exit replays the narrow kernel's
+// per-64-pattern-block accounting inside each wide pass (see run()).
+// tests/wide_fsim_test.cpp enforces this against the W=1 reference.
 #ifndef COREBIST_FAULT_COMB_FSIM_HPP_
 #define COREBIST_FAULT_COMB_FSIM_HPP_
 
@@ -16,17 +24,24 @@
 
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault/lane.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
 
 namespace corebist {
 
-class CombFaultSim final : public FaultSim {
+template <int W>
+class CombFaultSimT final : public FaultSim {
  public:
+  /// Detection masks and net values cover kLanes = W * 64 patterns.
+  using Word = LaneWord<W>;
+  static constexpr int kWords = W;
+  static constexpr int kLanes = 64 * W;
+
   /// `inputs` are the controllable nets (PIs + pseudo-PIs), `observed` the
   /// observable nets (POs + pseudo-POs).
-  CombFaultSim(const Netlist& nl, std::span<const NetId> inputs,
-               std::span<const NetId> observed);
+  CombFaultSimT(const Netlist& nl, std::span<const NetId> inputs,
+                std::span<const NetId> observed);
 
   /// Campaign entry point (FaultSim): grade stuck-at `faults` against the
   /// pattern stream, with fault dropping, stall exit, per-window masks and
@@ -39,7 +54,8 @@ class CombFaultSim final : public FaultSim {
 
   [[nodiscard]] std::unique_ptr<FaultSim> clone() const override;
 
-  /// Good-simulate one block of patterns.
+  /// Good-simulate one block of patterns. Blocks narrower than W lane words
+  /// are accepted (missing lanes are masked off); wider blocks throw.
   void loadBlock(const PatternBlock& block);
 
   /// Good-simulate an aligned pattern-pair block (v1 launch, v2 capture) for
@@ -47,10 +63,10 @@ class CombFaultSim final : public FaultSim {
   void loadPairBlock(const PatternBlock& v1, const PatternBlock& v2);
 
   /// Lanes (patterns of the loaded block) that detect `f`.
-  [[nodiscard]] std::uint64_t detect(const Fault& f);
+  [[nodiscard]] Word detect(const Fault& f);
 
   /// Good value of a net in the loaded (v2) block.
-  [[nodiscard]] std::uint64_t goodValue(NetId n) const { return good_[n]; }
+  [[nodiscard]] Word goodValue(NetId n) const { return good_[n]; }
 
   [[nodiscard]] const Netlist& netlist() const noexcept override {
     return nl_;
@@ -63,32 +79,49 @@ class CombFaultSim final : public FaultSim {
   }
 
  private:
-  void simulateGood(const PatternBlock& block, std::vector<std::uint64_t>& dst);
-  std::uint64_t propagate(NetId site_net, std::uint64_t faulty_word,
-                          GateId branch_gate, std::uint8_t branch_pin);
-  [[nodiscard]] std::uint64_t readFaulty(NetId n) const {
+  void simulateGood(const PatternBlock& block, std::vector<Word>& dst);
+  /// detect() with the per-fault switch hoisted: the campaign loop validates
+  /// kinds once per run and passes the precomputed forced-word polarity.
+  [[nodiscard]] Word detectStuckAt(const Fault& f, bool sa1);
+  Word propagate(NetId site_net, const Word& faulty_word, GateId branch_gate,
+                 std::uint8_t branch_pin);
+  [[nodiscard]] const Word& readFaulty(NetId n) const {
     return stamp_[n] == epoch_ ? fval_[n] : good_[n];
   }
 
   const Netlist& nl_;
   Levelization lev_;
-  std::vector<int> order_index_;  // gate id -> position in topological order
+  const ReaderCsr* readers_;  // materialized at construction (thread safety)
   std::vector<NetId> inputs_;
   std::vector<NetId> observed_;
   std::vector<char> observed_flag_;
 
-  std::vector<std::uint64_t> good_;    // v2 (capture) good values
-  std::vector<std::uint64_t> goodv1_;  // v1 (launch) good values; pair mode
+  std::vector<Word> good_;    // v2 (capture) good values
+  std::vector<Word> goodv1_;  // v1 (launch) good values; pair mode
   bool pair_mode_ = false;
-  std::uint64_t lane_mask_ = ~std::uint64_t{0};
+  Word lane_mask_ = Word::ones();
 
   // Event-driven propagation scratch (epoch-stamped copy-on-write).
-  std::vector<std::uint64_t> fval_;
+  std::vector<Word> fval_;
   std::vector<std::uint32_t> stamp_;
   std::vector<std::uint32_t> in_queue_;
   std::uint32_t epoch_ = 0;
   std::vector<std::vector<GateId>> level_buckets_;
 };
+
+// The kernel widths linked into the library: the 64-lane reference, the
+// 128-lane middle point (bench sweep) and the 256-lane default. Additional
+// widths need an explicit instantiation in comb_fsim.cpp.
+extern template class CombFaultSimT<1>;
+extern template class CombFaultSimT<2>;
+extern template class CombFaultSimT<4>;
+#if COREBIST_LANE_WORDS != 1 && COREBIST_LANE_WORDS != 2 && \
+    COREBIST_LANE_WORDS != 4
+extern template class CombFaultSimT<kLaneWords>;
+#endif
+
+/// The production kernel: kLaneWords * 64 pattern lanes per pass.
+using CombFaultSim = CombFaultSimT<kLaneWords>;
 
 }  // namespace corebist
 

@@ -75,7 +75,7 @@ std::string describeFault(const Netlist& nl, const Fault& f) {
 
 FaultUniverse enumerateStuckAt(const Netlist& nl, bool collapse) {
   FaultUniverse u;
-  const auto& readers = nl.readers();
+  const ReaderCsr& readers = nl.readerCsr();
 
   // Nets fed by constant tie cells carry no testable stuck-at faults.
   std::vector<char> is_const_net(nl.numNets(), 0);
@@ -107,7 +107,7 @@ FaultUniverse enumerateStuckAt(const Netlist& nl, bool collapse) {
     for (std::uint8_t p = 0; p < gate.nin; ++p) {
       const NetId in = gate.in[p];
       if (is_const_net[in]) continue;
-      if (readers[in].size() > 1) {
+      if (readers.countOf(in) > 1) {
         push(in, g, p, FaultKind::kSa0);
         push(in, g, p, FaultKind::kSa1);
       }
@@ -126,7 +126,7 @@ FaultUniverse enumerateStuckAt(const Netlist& nl, bool collapse) {
     const NetId in = gate.in[pin];
     // The collapsible input fault is the branch when fanout > 1, else the
     // stem of the input net.
-    if (readers[in].size() > 1) return push(in, g, pin, k);
+    if (readers.countOf(in) > 1) return push(in, g, pin, k);
     return push(in, Fault::kNoGate, 0, k);
   };
 

@@ -24,8 +24,10 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -33,26 +35,53 @@
 
 namespace corebist {
 
-/// 64 patterns in PPSFP layout: one word per input position (word bit k is
-/// the value of that input in lane k). Combinational engines treat lanes as
-/// independent test patterns; sequential stimulus views them as consecutive
-/// clock cycles.
+/// A block of patterns in PPSFP layout, `words_per_input` 64-bit words per
+/// input position (input-major: `inputs[i * words_per_input + k]` is lane
+/// word k of input i; bit b of lane word k is lane 64 * k + b of that
+/// input). Combinational engines treat lanes as independent test patterns;
+/// sequential stimulus views them as consecutive clock cycles. The narrow
+/// legacy layout is words_per_input == 1 (the default), which every
+/// hand-built block in the ATPG inner loops still uses — wide kernels
+/// accept narrow blocks and mask off the missing lanes.
 struct PatternBlock {
   std::vector<std::uint64_t> inputs;
-  int count = 64;  // number of meaningful lanes, in [1, 64]
+  int words_per_input = 1;  // lane words per input, in [1, 8]
+  int count = 64;  // number of meaningful lanes, in [1, 64 * words_per_input]
 
-  /// `count` clamped into the valid [1, 64] lane range. An out-of-range
-  /// count is a caller bug: asserted in debug builds, clamped in release so
-  /// a bad count can never silently yield an empty lane mask (which used to
-  /// drop every detection of the block).
-  [[nodiscard]] int clampedCount() const noexcept {
-    assert(count >= 1 && count <= 64 && "PatternBlock: count out of [1,64]");
-    return count < 1 ? 1 : (count > 64 ? 64 : count);
+  [[nodiscard]] int clampedWords() const noexcept {
+    assert(words_per_input >= 1 && words_per_input <= 8 &&
+           "PatternBlock: words_per_input out of [1,8]");
+    return words_per_input < 1 ? 1 : (words_per_input > 8 ? 8
+                                                          : words_per_input);
   }
 
-  [[nodiscard]] std::uint64_t laneMask() const noexcept {
-    const int c = clampedCount();
+  /// `count` clamped into the valid [1, 64 * words_per_input] lane range.
+  /// An out-of-range count is a caller bug: asserted in debug builds,
+  /// clamped in release so a bad count can never silently yield an empty
+  /// lane mask (which used to drop every detection of the block).
+  [[nodiscard]] int clampedCount() const noexcept {
+    const int max = 64 * clampedWords();
+    assert(count >= 1 && count <= max && "PatternBlock: count out of range");
+    return count < 1 ? 1 : (count > max ? max : count);
+  }
+
+  /// Mask of meaningful lanes inside lane word `k`.
+  [[nodiscard]] std::uint64_t laneMaskWord(int k) const noexcept {
+    const int c = clampedCount() - 64 * k;
+    if (c <= 0) return 0;
     return c >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+  }
+
+  /// Lane mask of the first (or only) lane word — the whole mask for
+  /// narrow blocks.
+  [[nodiscard]] std::uint64_t laneMask() const noexcept {
+    return laneMaskWord(0);
+  }
+
+  /// Lane word `k` of input `i`.
+  [[nodiscard]] std::uint64_t word(std::size_t i, int k) const noexcept {
+    return inputs[i * static_cast<std::size_t>(clampedWords()) +
+                  static_cast<std::size_t>(k)];
   }
 };
 
@@ -142,9 +171,17 @@ class PatternSource {
   [[nodiscard]] virtual int patternCount() const = 0;
   /// Input positions per pattern.
   [[nodiscard]] virtual std::size_t width() const = 0;
-  /// Fill `out` (PPSFP layout) with up to 64 patterns starting at `start`;
-  /// `out.count` receives the number of valid lanes.
+  /// Fill `out` (narrow PPSFP layout, words_per_input == 1) with up to 64
+  /// patterns starting at `start`; `out.count` receives the number of valid
+  /// lanes.
   virtual void fill(int start, PatternBlock& out) const = 0;
+  /// Fill `out` (wide layout, words_per_input == lane_words) with up to
+  /// 64 * lane_words patterns starting at `start`. The default assembles the
+  /// wide block from per-64-lane `fill` calls, so every source's wide fills
+  /// agree bit-for-bit with its narrow fills by construction — the anchor of
+  /// the "results are identical at any lane width" guarantee. Sources may
+  /// override for speed but must preserve that equivalence.
+  virtual void fillWide(int start, int lane_words, PatternBlock& out) const;
   /// Fast path for narrow stimuli: one word per pattern (bit j drives input
   /// j), the natural layout of sequential per-cycle streams. An empty span
   /// means "not available, use fill()".
@@ -155,10 +192,20 @@ class PatternSource {
 
 /// Recorded per-cycle stimulus (e.g. the ALFSR word stream of a BIST
 /// session): word c bit j drives input j at pattern/cycle c.
+///
+/// Block-aligned fills are served from a thread-safe transposition cache:
+/// each 64-cycle block is transposed once (word-level 64x64 transpose, not
+/// the old bit-at-a-time loop) and memoized by block index, so the N comb
+/// workers of a sharded campaign that all revisit the same ALFSR blocks pay
+/// the transpose exactly once per block instead of once per worker pass.
 class CyclePatternSource final : public PatternSource {
  public:
+  /// `width` must be <= 64: a packed cycle word carries one bit per input.
   CyclePatternSource(std::span<const std::uint64_t> words, std::size_t width)
-      : words_(words), width_(width) {}
+      : words_(words), width_(width) {
+    assert(width <= 64 &&
+           "CyclePatternSource: packed cycle words carry at most 64 inputs");
+  }
 
   [[nodiscard]] int patternCount() const override {
     return static_cast<int>(words_.size());
@@ -170,8 +217,17 @@ class CyclePatternSource final : public PatternSource {
   }
 
  private:
+  /// Transposed lanes of the 64-cycle block `block`, built on first use.
+  /// The returned reference stays valid for the source's lifetime
+  /// (unordered_map never invalidates value references on insert, and
+  /// entries are never erased).
+  [[nodiscard]] const std::vector<std::uint64_t>& transposedBlock(
+      int block) const;
+
   std::span<const std::uint64_t> words_;
   std::size_t width_;
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<int, std::vector<std::uint64_t>> cache_;
 };
 
 /// Uniform-random patterns of arbitrary width (full-scan random phases,

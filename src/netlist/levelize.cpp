@@ -32,12 +32,12 @@ Levelization levelize(const Netlist& nl) {
     }
   }
 
-  const auto& readers = nl.readers();
+  const ReaderCsr& readers = nl.readerCsr();
   std::size_t head = 0;
   while (head < ready.size()) {
     const GateId g = ready[head++];
     out.order.push_back(g);
-    for (const NetReader& r : readers[gates[g].out]) {
+    for (const NetReader& r : readers.of(gates[g].out)) {
       const int lvl = out.level[g] + 1;
       if (out.level[r.gate] < lvl) out.level[r.gate] = lvl;
       if (--pending[r.gate] == 0) ready.push_back(r.gate);

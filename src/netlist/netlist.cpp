@@ -166,18 +166,28 @@ int Netlist::dffIndexOf(NetId n) const {
   return it == dff_of_q_.end() ? -1 : it->second;
 }
 
-const std::vector<std::vector<NetReader>>& Netlist::readers() const {
-  if (readers_.empty() && num_nets_ > 0) {
-    readers_.resize(num_nets_);
+const ReaderCsr& Netlist::readerCsr() const {
+  if (reader_csr_.offsets.empty() && num_nets_ > 0) {
+    auto& offsets = reader_csr_.offsets;
+    offsets.assign(num_nets_ + 1, 0);
+    for (const Gate& gate : gates_) {
+      for (int p = 0; p < gate.nin; ++p) {
+        ++offsets[gate.in[static_cast<std::size_t>(p)] + 1];
+      }
+    }
+    for (std::size_t n = 1; n <= num_nets_; ++n) offsets[n] += offsets[n - 1];
+    reader_csr_.flat.resize(offsets.back());
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
     for (GateId g = 0; g < gates_.size(); ++g) {
       const Gate& gate = gates_[g];
       for (int p = 0; p < gate.nin; ++p) {
-        readers_[gate.in[static_cast<std::size_t>(p)]].push_back(
-            NetReader{g, static_cast<std::uint8_t>(p)});
+        const NetId in = gate.in[static_cast<std::size_t>(p)];
+        reader_csr_.flat[cursor[in]++] =
+            NetReader{g, static_cast<std::uint8_t>(p)};
       }
     }
   }
-  return readers_;
+  return reader_csr_;
 }
 
 void Netlist::validate() const {

@@ -38,6 +38,23 @@ struct NetReader {
   std::uint8_t pin = 0;
 };
 
+/// Flattened fanout index in CSR form: the readers of net n are
+/// flat[offsets[n] .. offsets[n+1]), in ascending (gate, pin) order. One
+/// contiguous allocation instead of a vector-of-vectors, so the hot
+/// traversals (fault propagation, levelization, fanout enumeration) walk a
+/// flat array without chasing a per-net heap vector.
+struct ReaderCsr {
+  std::vector<std::uint32_t> offsets;  // numNets() + 1 entries once built
+  std::vector<NetReader> flat;
+
+  [[nodiscard]] std::span<const NetReader> of(NetId n) const noexcept {
+    return {flat.data() + offsets[n], flat.data() + offsets[n + 1]};
+  }
+  [[nodiscard]] std::size_t countOf(NetId n) const noexcept {
+    return offsets[n + 1] - offsets[n];
+  }
+};
+
 class Netlist {
  public:
   Netlist() = default;
@@ -118,9 +135,11 @@ class Netlist {
   /// Index into dffs() for a state net, or -1.
   [[nodiscard]] int dffIndexOf(NetId n) const;
 
-  /// All (gate, pin) readers of every net. Built on demand, invalidated by
-  /// structural edits.
-  [[nodiscard]] const std::vector<std::vector<NetReader>>& readers() const;
+  /// All (gate, pin) readers of every net, flattened to CSR. Built on
+  /// demand, invalidated by structural edits. Not thread-safe to *build*:
+  /// materialize it (any call) before sharing the netlist across worker
+  /// threads — the fault-sim engines do this in their constructors.
+  [[nodiscard]] const ReaderCsr& readerCsr() const;
 
   /// Throws std::logic_error on dangling DFF inputs, multiply-driven nets,
   /// or gates reading nonexistent nets.
@@ -137,7 +156,10 @@ class Netlist {
   void adoptPortNets(const Netlist& other, NetId offset);
 
  private:
-  void invalidateCaches() noexcept { readers_.clear(); }
+  void invalidateCaches() noexcept {
+    reader_csr_.offsets.clear();
+    reader_csr_.flat.clear();
+  }
 
   std::string name_ = "top";
   std::size_t num_nets_ = 0;
@@ -150,7 +172,7 @@ class Netlist {
   // driver_[net] = gate id or kNoDriver. Grown lazily.
   std::vector<GateId> driver_;
   std::unordered_map<NetId, int> dff_of_q_;
-  mutable std::vector<std::vector<NetReader>> readers_;
+  mutable ReaderCsr reader_csr_;
 };
 
 }  // namespace corebist

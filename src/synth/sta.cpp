@@ -10,7 +10,7 @@ namespace corebist {
 TimingReport analyzeTiming(const Netlist& nl, const TechLib& lib,
                            bool scan_flops) {
   const Levelization lev = levelize(nl);
-  const auto& readers = nl.readers();
+  const ReaderCsr& readers = nl.readerCsr();
   const FlopSpec& ff = scan_flops ? lib.scanDff() : lib.dff();
 
   std::vector<double> arrival(nl.numNets(), 0.0);
@@ -31,7 +31,7 @@ TimingReport analyzeTiming(const Netlist& nl, const TechLib& lib,
     // net wider than ~10 loads, bounding the incremental delay.
     constexpr std::size_t kMaxLoadFanout = 10;
     const std::size_t fanout =
-        std::min(readers[gate.out].size(), kMaxLoadFanout);
+        std::min(readers.countOf(gate.out), kMaxLoadFanout);
     const double load =
         fanout > 1 ? cs.load_ns_per_fanout * static_cast<double>(fanout - 1)
                    : 0.0;

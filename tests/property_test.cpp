@@ -86,11 +86,11 @@ TEST_P(RandomCircuitProperty, CombAndSeqFaultSimAgreeOnCombCircuits) {
   }
   cfsim.loadBlock(blk);
   for (std::size_t i = 0; i < u.faults.size(); ++i) {
-    const std::uint64_t mask = cfsim.detect(u.faults[i]);
-    if (mask == 0) {
+    const auto det = cfsim.detect(u.faults[i]);
+    if (det.none()) {
       EXPECT_EQ(seq.first_detect[i], -1) << describeFault(nl, u.faults[i]);
     } else {
-      EXPECT_EQ(seq.first_detect[i], std::countr_zero(mask))
+      EXPECT_EQ(seq.first_detect[i], det.firstLane())
           << describeFault(nl, u.faults[i]);
     }
   }
@@ -172,7 +172,11 @@ TEST(FaultProperty, DetectionMasksAreSubsetsOfLaneMask) {
   blk.count = 17;  // partial block
   fsim.loadBlock(blk);
   for (const Fault& f : u.faults) {
-    EXPECT_EQ(fsim.detect(f) & ~blk.laneMask(), 0u);
+    const auto det = fsim.detect(f);
+    EXPECT_EQ(det.word(0) & ~blk.laneMask(), 0u);
+    for (int wi = 1; wi < CombFaultSim::kWords; ++wi) {
+      EXPECT_EQ(det.word(wi), 0u);
+    }
   }
 }
 
@@ -189,9 +193,9 @@ TEST(FaultProperty, SaFaultOnNetWithConstantValueIsUndetectable) {
   blk.count = 4;
   fsim.loadBlock(blk);
   const Fault sa0{t, Fault::kNoGate, 0, FaultKind::kSa0};
-  EXPECT_EQ(fsim.detect(sa0), 0u);
+  EXPECT_TRUE(fsim.detect(sa0).none());
   const Fault sa1{t, Fault::kNoGate, 0, FaultKind::kSa1};
-  EXPECT_NE(fsim.detect(sa1), 0u);
+  EXPECT_TRUE(fsim.detect(sa1).any());
 }
 
 }  // namespace

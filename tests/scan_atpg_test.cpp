@@ -104,7 +104,7 @@ TEST(Podem, GeneratesTestsThatTheFaultSimulatorConfirms) {
     }
     blk.count = 1;
     fsim.loadBlock(blk);
-    if (fsim.detect(u.faults[i]) & 1u) ++confirmed;
+    if (fsim.detect(u.faults[i]).word(0) & 1u) ++confirmed;
   }
   EXPECT_GT(generated, 20);
   EXPECT_EQ(confirmed, generated)
