@@ -53,6 +53,41 @@ std::unique_ptr<Soc> makeSoc(int cores) {
   return soc;
 }
 
+/// Multi-TAM variant: the same top-level workload spread round-robin over
+/// `tams` TAMs, plus one nested (depth-1) core under each TAM's first
+/// top-level core so hierarchical routing stays in the measured loop.
+std::unique_ptr<Soc> makeMultiTamSoc(int cores, int tams) {
+  auto soc = std::make_unique<Soc>("bench_soc_t" + std::to_string(tams));
+  for (int t = 1; t < tams; ++t) (void)soc->addTam();
+  std::vector<int> first_on_tam(static_cast<std::size_t>(tams), -1);
+  for (int c = 0; c < cores; ++c) {
+    auto core = std::make_unique<WrappedCore>("core" + std::to_string(c));
+    core->addModule(makeBlock(2 * c, 14 + (c % 3) * 4));
+    core->addModule(makeBlock(2 * c + 1, 12 + (c % 4) * 4));
+    const int tam = c % tams;
+    const int idx = soc->attachCore(std::move(core), tam);
+    if (first_on_tam[static_cast<std::size_t>(tam)] < 0) {
+      first_on_tam[static_cast<std::size_t>(tam)] = idx;
+    }
+  }
+  for (int t = 0; t < tams; ++t) {
+    auto nested =
+        std::make_unique<WrappedCore>("nested" + std::to_string(t));
+    nested->addModule(makeBlock(100 + t, 12));
+    (void)soc->attachChildCore(std::move(nested),
+                               first_on_tam[static_cast<std::size_t>(t)]);
+  }
+  soc->core(cores / 2).injectDefect(0, 7, GateType::kNor);
+  return soc;
+}
+
+struct TamSweepRow {
+  int tams = 1;
+  double seconds_median = 0.0;
+  double seconds_min = 0.0;
+  SessionReport report;  // last run (per-TAM utilization snapshot)
+};
+
 struct Measurement {
   int threads = 1;
   double seconds_median = 0.0;
@@ -119,6 +154,46 @@ int main(int argc, char** argv) {
   }
   const double speedup4 = par4_s > 0 ? serial_s / par4_s : 0.0;
 
+  // TAM sweep: the same workload over 1/2/4 TAMs (plus one nested core per
+  // TAM), 4 worker threads, per-TAM utilization recorded. Fingerprints are
+  // checked like the shard sweep: within each topology the threaded run
+  // must equal that topology's serial reference byte for byte.
+  std::printf("\nTAM sweep (%d cores + nested, 4 threads)\n", cores);
+  std::vector<TamSweepRow> tam_rows;
+  for (const int tams : {1, 2, 4}) {
+    auto tam_soc = makeMultiTamSoc(cores, tams);
+    SocTestScheduler tam_scheduler(*tam_soc);
+    const std::string tam_reference =
+        tam_scheduler.run(TestPlan{}.withPatterns(patterns).withThreads(1))
+            .fingerprint();
+    const TestPlan tam_plan =
+        TestPlan{}.withPatterns(patterns).withThreads(4);
+    TamSweepRow row;
+    row.tams = tams;
+    bool diverged = false;
+    const Timing t = timeRepeats(repeats, [&] {
+      row.report = tam_scheduler.run(tam_plan);
+      if (row.report.fingerprint() != tam_reference) diverged = true;
+    });
+    if (diverged) {
+      std::fprintf(stderr,
+                   "FATAL: %d-TAM campaign diverged from its serial "
+                   "reference\n", tams);
+      return 1;
+    }
+    row.seconds_median = t.median;
+    row.seconds_min = t.min;
+    std::printf("  %d TAM(s)  %7.3fs med (%7.3fs min)  fingerprint OK\n",
+                tams, row.seconds_median, row.seconds_min);
+    for (const TamReport& tr : row.report.tams) {
+      std::printf("    %-8s %2zu core(s)  %10zu TCKs  util %.2f on %d "
+                  "channel(s)\n",
+                  tr.name.c_str(), tr.core_order.size(), tr.tap_clocks,
+                  tr.utilization, tr.channels);
+    }
+    tam_rows.push_back(std::move(row));
+  }
+
   std::FILE* f = std::fopen("BENCH_soc.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_soc.json for writing\n");
@@ -141,6 +216,27 @@ int main(int argc, char** argv) {
                  m.threads, m.seconds_median, m.seconds_min, m.cores,
                  m.coresPerSec(), m.tap_clocks,
                  i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"tam_sweep\": [\n");
+  for (std::size_t i = 0; i < tam_rows.size(); ++i) {
+    const TamSweepRow& row = tam_rows[i];
+    std::fprintf(f,
+                 "    {\"tams\": %d, \"threads\": 4, "
+                 "\"seconds_median\": %.4f, \"seconds_min\": %.4f, "
+                 "\"per_tam\": [",
+                 row.tams, row.seconds_median, row.seconds_min);
+    for (std::size_t t = 0; t < row.report.tams.size(); ++t) {
+      const TamReport& tr = row.report.tams[t];
+      std::fprintf(f,
+                   "%s{\"tam\": %d, \"name\": \"%s\", \"cores\": %zu, "
+                   "\"tap_clocks\": %zu, \"channels\": %d, "
+                   "\"utilization\": %.3f}",
+                   t == 0 ? "" : ", ", tr.tam_index, tr.name.c_str(),
+                   tr.core_order.size(), tr.tap_clocks, tr.channels,
+                   tr.utilization);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < tam_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -3,12 +3,15 @@
 //
 // One SoC carries the Reconfigurable Serial LDPC decoder core (BIT_NODE +
 // CHECK_NODE + CONTROL_UNIT behind one BIST engine and one P1500 wrapper)
-// next to a second small UDL core. A TestPlan describes the campaign —
-// pattern budgets, poll budgets, retry policy — and the SocTestScheduler
-// shards the cores across session channels, streaming progress through a
-// SessionObserver; the external ATE protocol underneath is still pure
-// TCK/TMS/TDI bit-banging. The injected manufacturing defect is located
-// down to the module from the structured SessionReport.
+// next to a small UDL core on a second TAM, with a nested accelerator
+// core wrapped inside the LDPC core (a wrapped core containing a wrapped
+// core, reached through the parent's WIR child chain). A TestPlan
+// describes the campaign — pattern budgets, poll budgets, retry policy —
+// and the SocTestScheduler places the core trees onto TAM channels,
+// streaming progress through a SessionObserver; the external ATE protocol
+// underneath is still pure TCK/TMS/TDI bit-banging. The injected
+// manufacturing defect is located down to the module from the structured
+// SessionReport.
 #include <cstdio>
 #include <memory>
 
@@ -53,12 +56,21 @@ int main() {
   ldpc_core->addModule(cu);
   const int ldpc_idx = soc.attachCore(std::move(ldpc_core));
 
+  // The UDL rides a TAM of its own; a nested accelerator hides inside the
+  // LDPC core's wrapper (depth 1).
+  const int udl_tam = soc.addTam("udl_tam");
   auto udl_core = std::make_unique<WrappedCore>("udl");
   udl_core->addModule(makeUdlCore());
-  const int udl_idx = soc.attachCore(std::move(udl_core));
+  const int udl_idx = soc.attachCore(std::move(udl_core), udl_tam);
 
-  std::printf("cores attached: %d (TAP IR %d bits)\n", soc.coreCount(),
-              soc.tap().irWidth());
+  auto accel_core = std::make_unique<WrappedCore>("nested_accel");
+  accel_core->addModule(makeUdlCore());
+  const int accel_idx = soc.attachChildCore(std::move(accel_core), ldpc_idx);
+
+  std::printf("cores attached: %d over %d TAM(s), nested depth %d "
+              "(TAP IR %d bits)\n",
+              soc.coreCount(), soc.tamCount(),
+              soc.topology(accel_idx).depth(), soc.tap().irWidth());
   for (int m = 0; m < soc.core(ldpc_idx).moduleCount(); ++m) {
     const auto& eng = soc.core(ldpc_idx).engine();
     std::printf("  ldpc module %d: %-13s case '%c', %2d in / %2d out\n", m,
@@ -90,6 +102,14 @@ int main() {
 
   const CoreReport* r_ldpc = wafer2.core(ldpc_idx);
   const CoreReport* r_udl = wafer2.core(udl_idx);
+  const CoreReport* r_accel = wafer2.core(accel_idx);
+
+  std::printf("\nper-TAM accounting:\n");
+  for (const TamReport& tr : wafer2.tams) {
+    std::printf("  %-8s %zu core(s), %zu TCKs, utilization %.2f\n",
+                tr.name.c_str(), tr.core_order.size(), tr.tap_clocks,
+                tr.utilization);
+  }
 
   std::printf("\ndiagnosis from the Output Selector read-out: ");
   for (std::size_t m = 0; m < r_ldpc->modules.size(); ++m) {
@@ -120,11 +140,15 @@ int main() {
   const bool ok = wafer1.pass() && !wafer2.pass() &&
                   r_ldpc->verdict == CoreVerdict::kSignatureMismatch &&
                   r_udl->verdict == CoreVerdict::kPass &&
+                  r_accel->verdict == CoreVerdict::kPass &&
+                  r_accel->depth == 1 && r_udl->tam == udl_tam &&
+                  wafer2.tams.size() == 2 &&
                   !r_ldpc->modules[1].pass() && r_ldpc->modules[0].pass() &&
                   r_ldpc->modules[2].pass() &&
                   rushed.cores[0].verdict == CoreVerdict::kTimeout &&
                   rushed.cores[0].attempts == 2;
-  std::printf("\nexpected localization (CHECK_NODE only) + timeout "
-              "telemetry: %s\n", ok ? "CONFIRMED" : "NOT confirmed");
+  std::printf("\nexpected localization (CHECK_NODE only) + nested/multi-TAM "
+              "verdicts + timeout telemetry: %s\n",
+              ok ? "CONFIRMED" : "NOT confirmed");
   return ok ? 0 : 1;
 }

@@ -1,29 +1,37 @@
 #include "core/scheduler.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "fault/fault.hpp"
-#include "tam/ate.hpp"
-#include "tam/tam.hpp"
+#include "core/session_channel.hpp"
 
 namespace corebist {
 namespace {
 
 /// Concretize a plan entry against the plan-wide defaults and validate it
-/// against the SoC.
+/// against the SoC (existence, TAM assignment, counter capacity).
 CorePlan resolveEntry(const TestPlan& plan, const CorePlan& entry, Soc& soc) {
   CorePlan r = entry;
   if (r.core_index < 0 || r.core_index >= soc.coreCount()) {
     throw std::invalid_argument("TestPlan: no core with index " +
                                 std::to_string(r.core_index));
   }
+  const Soc::CoreTopology& topo = soc.topology(r.core_index);
+  if (r.tam >= 0 && r.tam != topo.tam) {
+    throw std::invalid_argument(
+        "TestPlan: core " + std::to_string(r.core_index) +
+        " is served by TAM " + std::to_string(topo.tam) + ", not TAM " +
+        std::to_string(r.tam));
+  }
+  r.tam = topo.tam;
   if (r.patterns <= 0) r.patterns = plan.patterns;
   if (r.poll_budget <= 0) r.poll_budget = plan.poll_budget;
   if (r.poll_idle <= 0) r.poll_idle = plan.poll_idle;
@@ -53,7 +61,7 @@ std::vector<CorePlan> resolvePlan(const TestPlan& plan, Soc& soc) {
     std::vector<char> seen(static_cast<std::size_t>(soc.coreCount()), 0);
     for (const CorePlan& e : plan.cores) {
       entries.push_back(resolveEntry(plan, e, soc));
-      // One entry per core: shards must never drive one wrapper twice
+      // One entry per core: channels must never drive one wrapper twice
       // concurrently, and serially a second entry would retest, not extend.
       char& flag = seen[static_cast<std::size_t>(entries.back().core_index)];
       if (flag != 0) {
@@ -67,143 +75,78 @@ std::vector<CorePlan> resolvePlan(const TestPlan& plan, Soc& soc) {
   return entries;
 }
 
-/// One shard's private test-access stack: a TAP replica configured like the
-/// chip TAP, a TAM routing the same wrappers under the same core indices,
-/// and the ATE protocol over them. Channels touch only the wrapper of the
-/// core they have selected, so different channels may run concurrently as
-/// long as no two test the same core at once.
-class SessionChannel {
- public:
-  explicit SessionChannel(Soc& soc)
-      : soc_(soc),
-        tap_(soc.tap().irWidth(), soc.tap().idcode()),
-        tam_(tap_),
-        ate_(tap_) {
-    for (int c = 0; c < soc.coreCount(); ++c) {
-      WrappedCore* core = &soc.core(c);
-      tam_.attach(&core->wrapper(), [core] { core->systemClockTick(); });
-    }
+/// Per-TAM concurrent-channel caps: plan-wide default overridden per TAM.
+/// 0 = uncapped (bounded by the thread budget and the available work).
+std::vector<int> resolveChannelLimits(const TestPlan& plan, Soc& soc) {
+  if (plan.channels_per_tam < 0 ||
+      plan.channels_per_tam > TestPlan::kMaxChannelsPerTam) {
+    throw std::invalid_argument(
+        "TestPlan: channels_per_tam " + std::to_string(plan.channels_per_tam) +
+        " outside [0, " + std::to_string(TestPlan::kMaxChannelsPerTam) + "]");
   }
-
-  CoreReport testCore(const CorePlan& p, SessionObserver* observer,
-                      std::mutex& observer_mu);
-
- private:
-  void notify(std::mutex& mu, SessionObserver* obs, auto&& call) {
-    if (obs == nullptr) return;
-    const std::lock_guard<std::mutex> lock(mu);
-    call(*obs);
-  }
-  void measureCoverage(const WrappedCore& core, const CorePlan& p,
-                       CoreReport& report);
-
-  Soc& soc_;
-  TapController tap_;
-  Tam tam_;
-  P1500Ate ate_;
-};
-
-CoreReport SessionChannel::testCore(const CorePlan& p,
-                                    SessionObserver* observer,
-                                    std::mutex& observer_mu) {
-  CoreReport report;
-  report.core_index = p.core_index;
-  report.patterns = p.patterns;
-  WrappedCore& core = soc_.core(p.core_index);
-  report.core_name = core.name();
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t tck0 = tap_.tckCount();
-
-  for (int attempt = 1; attempt <= 1 + p.max_retries; ++attempt) {
-    notify(observer_mu, observer, [&](SessionObserver& o) {
-      o.onCoreStart(p.core_index, attempt);
-    });
-    ++report.attempts;
-
-    ate_.reset();
-    ate_.selectCore(p.core_index);
-    ate_.sendCommand(BistCommand::kReset, 0);
-    ate_.sendCommand(BistCommand::kLoadCount,
-                     static_cast<std::uint16_t>(p.patterns));
-    ate_.sendCommand(BistCommand::kStart, 0);
-
-    // At-speed run while the ATE idles the TAP.
-    ate_.runIdle(static_cast<std::size_t>(p.warmup_idle));
-    report.bist_cycles += static_cast<std::size_t>(p.warmup_idle);
-
-    // Poll status until end_test or the budget runs out.
-    ate_.sendCommand(BistCommand::kSelectResult, P1500Ate::kStatusView);
-    bool end_test = false;
-    for (int poll = 0; poll < p.poll_budget && !end_test; ++poll) {
-      const std::uint16_t status = ate_.readWdr();
-      ++report.polls;
-      end_test = (status & P1500Ate::kStatusEndTest) != 0;
-      if (!end_test) {
-        ate_.runIdle(static_cast<std::size_t>(p.poll_idle));
-        report.bist_cycles += static_cast<std::size_t>(p.poll_idle);
-      }
+  std::vector<int> limits(static_cast<std::size_t>(soc.tamCount()),
+                          plan.channels_per_tam);
+  std::vector<char> overridden(limits.size(), 0);
+  for (const TamChannelLimit& l : plan.tam_channels) {
+    if (l.tam < 0 || l.tam >= soc.tamCount()) {
+      throw std::invalid_argument("TestPlan: no TAM with index " +
+                                  std::to_string(l.tam));
     }
-    if (end_test) {
-      report.end_test_seen = true;
-      break;
+    if (l.channels < 1 || l.channels > TestPlan::kMaxChannelsPerTam) {
+      throw std::invalid_argument(
+          "TestPlan: TAM " + std::to_string(l.tam) + " channel limit " +
+          std::to_string(l.channels) + " outside [1, " +
+          std::to_string(TestPlan::kMaxChannelsPerTam) + "]");
     }
-    ++report.timeouts;
-    notify(observer_mu, observer, [&](SessionObserver& o) {
-      o.onCoreTimeout(p.core_index, attempt, attempt <= p.max_retries);
-    });
-  }
-
-  if (report.end_test_seen) {
-    // Upload each MISR signature through the Output Selector.
-    report.verdict = CoreVerdict::kPass;
-    for (int m = 0; m < core.moduleCount(); ++m) {
-      ate_.sendCommand(BistCommand::kSelectResult,
-                       static_cast<std::uint16_t>(m));
-      ModuleVerdict verdict;
-      verdict.signature = ate_.readWdr();
-      verdict.golden = core.goldenSignature(m, p.patterns);
-      if (!verdict.pass()) report.verdict = CoreVerdict::kSignatureMismatch;
-      report.modules.push_back(verdict);
+    char& flag = overridden[static_cast<std::size_t>(l.tam)];
+    if (flag != 0) {
+      throw std::invalid_argument("TestPlan: TAM " + std::to_string(l.tam) +
+                                  " channel limit listed more than once");
     }
-    if (p.coverage_target > 0.0) measureCoverage(core, p, report);
-  } else {
-    report.verdict = CoreVerdict::kTimeout;
+    flag = 1;
+    limits[static_cast<std::size_t>(l.tam)] = l.channels;
   }
-
-  report.tap_clocks = tap_.tckCount() - tck0;
-  report.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  notify(observer_mu, observer,
-         [&](SessionObserver& o) { o.onCoreFinish(report); });
-  return report;
+  return limits;
 }
 
-void SessionChannel::measureCoverage(const WrappedCore& core,
-                                     const CorePlan& p, CoreReport& report) {
-  report.coverage_target = p.coverage_target;
-  for (int m = 0; m < core.moduleCount(); ++m) {
-    const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
-    // One fsim worker: the shard itself is the unit of parallelism.
-    const FaultSimResult r =
-        core.engine().signatureCoverage(m, u.faults, p.patterns, 1);
-    const double coverage = r.misrCoverage();
-    report.modules[static_cast<std::size_t>(m)].coverage = coverage;
-    if (coverage < p.coverage_target) report.coverage_met = false;
+/// The unit of placement: one core tree's entries, in plan order. Cores
+/// sharing a top-level ancestor share a wrapper chain and clock domain, so
+/// they must never be driven by two channels at once.
+struct TreeGroup {
+  int tam = 0;
+  std::vector<std::size_t> entry_idx;
+};
+
+std::vector<TreeGroup> groupByTree(const std::vector<CorePlan>& entries,
+                                   Soc& soc) {
+  std::vector<TreeGroup> groups;
+  std::vector<int> group_of_root(static_cast<std::size_t>(soc.coreCount()),
+                                 -1);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Soc::CoreTopology& topo = soc.topology(entries[i].core_index);
+    int& g = group_of_root[static_cast<std::size_t>(topo.root)];
+    if (g < 0) {
+      g = static_cast<int>(groups.size());
+      groups.push_back(TreeGroup{topo.tam, {}});
+    }
+    groups[static_cast<std::size_t>(g)].entry_idx.push_back(i);
   }
+  return groups;
 }
 
 }  // namespace
 
 SessionReport SocTestScheduler::run(const TestPlan& plan) {
   const std::vector<CorePlan> entries = resolvePlan(plan, soc_);
+  const std::vector<int> limits = resolveChannelLimits(plan, soc_);
+  const std::vector<TreeGroup> groups = groupByTree(entries, soc_);
+
   int threads = plan.num_threads == 0
                     ? static_cast<int>(std::thread::hardware_concurrency())
                     : plan.num_threads;
   if (threads < 1) threads = 1;
-  if (threads > static_cast<int>(entries.size()) && !entries.empty()) {
-    threads = static_cast<int>(entries.size());
+  if (threads > static_cast<int>(groups.size()) && !groups.empty()) {
+    threads = static_cast<int>(groups.size());
   }
 
   SessionReport report;
@@ -218,29 +161,73 @@ SessionReport SocTestScheduler::run(const TestPlan& plan) {
   const auto t0 = std::chrono::steady_clock::now();
 
   if (threads <= 1) {
-    SessionChannel channel(soc_);
+    // Serial reference path: plan order, one lazily-opened channel per TAM.
+    std::vector<std::unique_ptr<SessionChannel>> channels(
+        static_cast<std::size_t>(soc_.tamCount()));
     for (std::size_t i = 0; i < entries.size(); ++i) {
-      report.cores[i] = channel.testCore(entries[i], observer_, observer_mu);
+      auto& ch = channels[static_cast<std::size_t>(entries[i].tam)];
+      if (ch == nullptr) {
+        ch = std::make_unique<SessionChannel>(soc_, entries[i].tam);
+      }
+      report.cores[i] = ch->testCore(entries[i], observer_, observer_mu);
     }
   } else {
-    std::atomic<std::size_t> next{0};
+    // Tree groups feed a worker pool; a worker claims the first unclaimed
+    // group whose TAM still has a free channel slot. Each (worker, TAM)
+    // pair opens its own channel, so concurrent channels on one TAM never
+    // exceed min(limit, workers).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<char> taken(groups.size(), 0);
+    std::vector<int> active(static_cast<std::size_t>(soc_.tamCount()), 0);
+    std::size_t untaken = groups.size();
     std::exception_ptr first_error;
-    std::mutex error_mu;
+
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
-        try {
-          SessionChannel channel(soc_);
-          for (std::size_t i = next.fetch_add(1); i < entries.size();
-               i = next.fetch_add(1)) {
-            report.cores[i] =
-                channel.testCore(entries[i], observer_, observer_mu);
+        std::vector<std::unique_ptr<SessionChannel>> channels(
+            static_cast<std::size_t>(soc_.tamCount()));
+        std::unique_lock<std::mutex> lock(mu);
+        while (untaken > 0) {
+          int pick = -1;
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            if (taken[g] != 0) continue;
+            const auto tam = static_cast<std::size_t>(groups[g].tam);
+            const int limit = limits[tam];
+            if (limit > 0 && active[tam] >= limit) continue;
+            pick = static_cast<int>(g);
+            break;
           }
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-          next.store(entries.size());  // drain the queue
+          if (pick < 0) {
+            cv.wait(lock);
+            continue;
+          }
+          const TreeGroup& group = groups[static_cast<std::size_t>(pick)];
+          taken[static_cast<std::size_t>(pick)] = 1;
+          --untaken;
+          ++active[static_cast<std::size_t>(group.tam)];
+          lock.unlock();
+          try {
+            auto& ch = channels[static_cast<std::size_t>(group.tam)];
+            if (ch == nullptr) {
+              ch = std::make_unique<SessionChannel>(soc_, group.tam);
+            }
+            for (const std::size_t i : group.entry_idx) {
+              report.cores[i] =
+                  ch->testCore(entries[i], observer_, observer_mu);
+            }
+            lock.lock();
+          } catch (...) {
+            lock.lock();
+            if (!first_error) first_error = std::current_exception();
+            // Drain the queue so every worker exits promptly.
+            std::fill(taken.begin(), taken.end(), char{1});
+            untaken = 0;
+          }
+          --active[static_cast<std::size_t>(group.tam)];
+          cv.notify_all();
         }
       });
     }
@@ -255,6 +242,34 @@ SessionReport SocTestScheduler::run(const TestPlan& plan) {
     report.total_tap_clocks += c.tap_clocks;
     report.total_bist_cycles += c.bist_cycles;
   }
+
+  // Per-TAM slices, ascending TAM index, plan order within each.
+  for (int t = 0; t < soc_.tamCount(); ++t) {
+    TamReport tr;
+    tr.tam_index = t;
+    tr.name = soc_.tamName(t);
+    int tam_groups = 0;
+    for (const TreeGroup& g : groups) {
+      if (g.tam == t) ++tam_groups;
+    }
+    if (tam_groups == 0) continue;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].tam != t) continue;
+      tr.core_order.push_back(entries[i].core_index);
+      tr.tap_clocks += report.cores[i].tap_clocks;
+      tr.bist_cycles += report.cores[i].bist_cycles;
+      tr.busy_seconds += report.cores[i].seconds;
+    }
+    const int limit = limits[static_cast<std::size_t>(t)];
+    tr.channels = std::min(limit > 0 ? limit : threads,
+                           std::min(tam_groups, threads));
+    if (report.wall_seconds > 0.0 && tr.channels > 0) {
+      tr.utilization =
+          tr.busy_seconds / (report.wall_seconds * tr.channels);
+    }
+    report.tams.push_back(std::move(tr));
+  }
+
   // Chip-level TCK accounting stays continuous with the serial session.
   soc_.tap().creditTcks(report.total_tap_clocks);
 

@@ -1,21 +1,23 @@
 // Plan-driven concurrent SoC test campaigns (the sharded Fig. 1 ATE).
 //
-// SocTestScheduler consumes a TestPlan and shards its core entries across
-// worker threads. Each shard owns a private session channel — a TAP
-// controller replica, a TAM routing the same wrappers, and the P1500 ATE
-// protocol over them — so golden-signature computation and at-speed BIST
-// emulation for different cores run concurrently. Cores are independent
-// after Soc::attachCore (all mutable per-core state lives in the wrapper /
-// control unit / engine of that core, and a channel only ever cycles the
-// wrapper of its selected core), so the only cross-shard aggregation is
-// TCK accounting: per-core counts are summed into the SessionReport and
-// credited back to the chip TAP.
+// SocTestScheduler consumes a TestPlan and places its core entries onto
+// TAM channels (core/session_channel.hpp): entries are grouped by core
+// *tree* (cores sharing a top-level ancestor share one wrapper chain and
+// one clock domain, so a tree is the unit of placement and runs in plan
+// order on one channel), groups on the same TAM run on up to that TAM's
+// channel limit concurrently, and groups on different TAMs are fully
+// independent. Worker threads — bounded by TestPlan::num_threads — drive
+// the channels; golden-signature computation and at-speed BIST emulation
+// for different trees overlap. The only cross-channel aggregation is TCK
+// accounting: per-core counts are summed into the SessionReport (overall
+// and per TAM) and credited back to the chip TAP.
 //
-// Determinism: every CoreReport is a function of (core state, plan entry)
-// alone — each attempt starts from TAP reset and a BIST kReset — so
-// sharded campaigns are byte-identical to the serial path under any thread
-// count (SessionReport::fingerprint(); enforced by
-// tests/soc_scheduler_test.cpp).
+// Determinism: every CoreReport is a function of (core-tree state, plan
+// entry) alone — each attempt starts from TAP reset and a BIST kReset, and
+// a tree's entries execute in plan order on one channel — so campaigns are
+// byte-identical to the serial path under any thread count and any TAM /
+// channel-limit configuration (SessionReport::fingerprint(); enforced by
+// tests/soc_scheduler_test.cpp and tests/hier_tam_test.cpp).
 #ifndef COREBIST_CORE_SCHEDULER_HPP_
 #define COREBIST_CORE_SCHEDULER_HPP_
 
@@ -34,7 +36,9 @@ class SocTestScheduler {
       : soc_(soc), observer_(observer) {}
 
   /// Run the campaign. Throws std::invalid_argument for plans that name
-  /// unknown cores or pattern budgets beyond a core's counter capacity.
+  /// unknown cores, assign a core to a TAM that does not serve it, carry
+  /// invalid per-TAM channel limits, or request pattern budgets beyond a
+  /// core's counter capacity.
   [[nodiscard]] SessionReport run(const TestPlan& plan);
 
   /// Single-core convenience: one entry, one shard, plan defaults for any

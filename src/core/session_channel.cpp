@@ -1,0 +1,128 @@
+#include "core/session_channel.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.hpp"
+
+namespace corebist {
+
+SessionChannel::SessionChannel(Soc& soc, int tam_index)
+    : soc_(soc),
+      tam_index_(tam_index),
+      tap_(soc.tap().irWidth(), soc.tap().idcode()),
+      tam_(tap_, soc.tam(tam_index).irSelect(), soc.tam(tam_index).name()),
+      ate_(tap_, tam_.irSelect()) {
+  // Attach this TAM's top-level wrappers in global core-index order — the
+  // same order Soc::attachCore used — so replica slots equal chip slots.
+  for (int c = 0; c < soc.coreCount(); ++c) {
+    const Soc::CoreTopology& topo = soc.topology(c);
+    if (topo.tam != tam_index || topo.depth() != 0) continue;
+    WrappedCore* core = &soc.core(c);
+    tam_.attach(&core->wrapper(), [core] { core->systemClockTick(); });
+  }
+}
+
+CoreReport SessionChannel::testCore(const CorePlan& p,
+                                    SessionObserver* observer,
+                                    std::mutex& observer_mu) {
+  const Soc::CoreTopology& topo = soc_.topology(p.core_index);
+  if (topo.tam != tam_index_) {
+    throw std::logic_error("SessionChannel: core " +
+                           std::to_string(p.core_index) +
+                           " is not served by TAM " +
+                           std::to_string(tam_index_));
+  }
+  CoreReport report;
+  report.core_index = p.core_index;
+  report.patterns = p.patterns;
+  report.tam = topo.tam;
+  report.depth = topo.depth();
+  WrappedCore& core = soc_.core(p.core_index);
+  report.core_name = core.name();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t tck0 = tap_.tckCount();
+
+  for (int attempt = 1; attempt <= 1 + p.max_retries; ++attempt) {
+    notify(observer_mu, observer, [&](SessionObserver& o) {
+      o.onCoreStart(p.core_index, attempt);
+    });
+    ++report.attempts;
+
+    ate_.reset();
+    ate_.selectCore(topo.top_slot);
+    ate_.selectPath(topo.child_path);
+    ate_.sendCommand(BistCommand::kReset, 0);
+    ate_.sendCommand(BistCommand::kLoadCount,
+                     static_cast<std::uint16_t>(p.patterns));
+    ate_.sendCommand(BistCommand::kStart, 0);
+
+    // At-speed run while the ATE idles the TAP.
+    ate_.runIdle(static_cast<std::size_t>(p.warmup_idle));
+    report.bist_cycles += static_cast<std::size_t>(p.warmup_idle);
+
+    // Poll status until end_test or the budget runs out.
+    ate_.sendCommand(BistCommand::kSelectResult, P1500Ate::kStatusView);
+    bool end_test = false;
+    for (int poll = 0; poll < p.poll_budget && !end_test; ++poll) {
+      const std::uint16_t status = ate_.readWdr();
+      ++report.polls;
+      end_test = (status & P1500Ate::kStatusEndTest) != 0;
+      if (!end_test) {
+        ate_.runIdle(static_cast<std::size_t>(p.poll_idle));
+        report.bist_cycles += static_cast<std::size_t>(p.poll_idle);
+      }
+    }
+    if (end_test) {
+      report.end_test_seen = true;
+      break;
+    }
+    ++report.timeouts;
+    notify(observer_mu, observer, [&](SessionObserver& o) {
+      o.onCoreTimeout(p.core_index, attempt, attempt <= p.max_retries);
+    });
+  }
+
+  if (report.end_test_seen) {
+    // Upload each MISR signature through the Output Selector.
+    report.verdict = CoreVerdict::kPass;
+    for (int m = 0; m < core.moduleCount(); ++m) {
+      ate_.sendCommand(BistCommand::kSelectResult,
+                       static_cast<std::uint16_t>(m));
+      ModuleVerdict verdict;
+      verdict.signature = ate_.readWdr();
+      verdict.golden = core.goldenSignature(m, p.patterns);
+      if (!verdict.pass()) report.verdict = CoreVerdict::kSignatureMismatch;
+      report.modules.push_back(verdict);
+    }
+    if (p.coverage_target > 0.0) measureCoverage(core, p, report);
+  } else {
+    report.verdict = CoreVerdict::kTimeout;
+  }
+
+  report.tap_clocks = tap_.tckCount() - tck0;
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  notify(observer_mu, observer,
+         [&](SessionObserver& o) { o.onCoreFinish(report); });
+  return report;
+}
+
+void SessionChannel::measureCoverage(const WrappedCore& core,
+                                     const CorePlan& p, CoreReport& report) {
+  report.coverage_target = p.coverage_target;
+  for (int m = 0; m < core.moduleCount(); ++m) {
+    const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
+    // One fsim worker: the channel itself is the unit of parallelism.
+    const FaultSimResult r =
+        core.engine().signatureCoverage(m, u.faults, p.patterns, 1);
+    const double coverage = r.misrCoverage();
+    report.modules[static_cast<std::size_t>(m)].coverage = coverage;
+    if (coverage < p.coverage_target) report.coverage_met = false;
+  }
+}
+
+}  // namespace corebist

@@ -1,0 +1,64 @@
+// SessionChannel: one independent test-access channel onto an SoC.
+//
+// A channel is the unit the SocTestScheduler parallelizes over: a private
+// TAP-controller replica configured like the chip TAP, a replica of ONE of
+// the chip's TAMs (same IR block, same top-level wrappers under the same
+// slots), and the P1500Ate bit-banging protocol over them. A channel only
+// ever cycles the wrapper tree of the core its TAM has selected, so
+// channels for different core trees may run concurrently; cores sharing a
+// top-level ancestor share one wrapper chain and one clock domain, so the
+// scheduler keeps a whole tree on a single channel.
+//
+// Extracted from SocTestScheduler (PR 2 built this bundle inline per
+// shard) so alternative access mechanisms — wider TAMs, streaming
+// interfaces — can replace the internals behind a stable seam.
+#ifndef COREBIST_CORE_SESSION_CHANNEL_HPP_
+#define COREBIST_CORE_SESSION_CHANNEL_HPP_
+
+#include <mutex>
+
+#include "core/session_observer.hpp"
+#include "core/session_report.hpp"
+#include "core/soc.hpp"
+#include "core/test_plan.hpp"
+#include "jtag/tap.hpp"
+#include "tam/ate.hpp"
+#include "tam/tam.hpp"
+
+namespace corebist {
+
+class SessionChannel {
+ public:
+  /// Open a channel onto `soc` through TAM `tam_index`. The replica TAM
+  /// attaches the same top-level wrappers under the same slot numbers as
+  /// the chip TAM, so CoreTopology select paths are valid verbatim.
+  explicit SessionChannel(Soc& soc, int tam_index = 0);
+
+  /// Run one resolved plan entry's full protocol (all attempts) and
+  /// report. `entry.core_index` must name a core served by this channel's
+  /// TAM — the scheduler guarantees it; a mismatch throws. `observer`
+  /// (optional) receives callbacks serialized under `observer_mu`.
+  CoreReport testCore(const CorePlan& entry, SessionObserver* observer,
+                      std::mutex& observer_mu);
+
+  [[nodiscard]] int tamIndex() const noexcept { return tam_index_; }
+
+ private:
+  void notify(std::mutex& mu, SessionObserver* obs, auto&& call) {
+    if (obs == nullptr) return;
+    const std::lock_guard<std::mutex> lock(mu);
+    call(*obs);
+  }
+  void measureCoverage(const WrappedCore& core, const CorePlan& p,
+                       CoreReport& report);
+
+  Soc& soc_;
+  int tam_index_;
+  TapController tap_;
+  Tam tam_;
+  P1500Ate ate_;
+};
+
+}  // namespace corebist
+
+#endif  // COREBIST_CORE_SESSION_CHANNEL_HPP_

@@ -86,7 +86,8 @@ void writeCore(std::ostringstream& os, const CoreReport& c,
                bool include_timing) {
   char buf[64];
   os << "{\"core\": " << c.core_index << ", \"name\": \"" << c.core_name
-     << "\", \"verdict\": \"" << coreVerdictName(c.verdict)
+     << "\", \"tam\": " << c.tam << ", \"depth\": " << c.depth
+     << ", \"verdict\": \"" << coreVerdictName(c.verdict)
      << "\", \"pass\": " << (c.pass() ? "true" : "false")
      << ", \"end_test_seen\": " << (c.end_test_seen ? "true" : "false")
      << ", \"patterns\": " << c.patterns << ", \"attempts\": " << c.attempts
@@ -131,6 +132,28 @@ std::string writeReport(const SessionReport& r, bool include_timing) {
   }
   os << "  \"total_tap_clocks\": " << r.total_tap_clocks << ",\n";
   os << "  \"total_bist_cycles\": " << r.total_bist_cycles << ",\n";
+  os << "  \"tams\": [\n";
+  for (std::size_t t = 0; t < r.tams.size(); ++t) {
+    const TamReport& tr = r.tams[t];
+    os << "    {\"tam\": " << tr.tam_index << ", \"name\": \"" << tr.name
+       << "\", \"cores\": [";
+    for (std::size_t c = 0; c < tr.core_order.size(); ++c) {
+      if (c != 0) os << ", ";
+      os << tr.core_order[c];
+    }
+    os << "], \"tap_clocks\": " << tr.tap_clocks
+       << ", \"bist_cycles\": " << tr.bist_cycles;
+    if (include_timing) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    ", \"channels\": %d, \"busy_seconds\": %.4f, "
+                    "\"utilization\": %.3f",
+                    tr.channels, tr.busy_seconds, tr.utilization);
+      os << buf;
+    }
+    os << "}" << (t + 1 < r.tams.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
   os << "  \"cores\": [\n";
   for (std::size_t i = 0; i < r.cores.size(); ++i) {
     os << "    ";

@@ -42,6 +42,8 @@ enum class CoreVerdict : std::uint8_t {
 struct CoreReport {
   int core_index = -1;
   std::string core_name;
+  int tam = 0;    // TAM channel the core was tested through
+  int depth = 0;  // nesting depth (0 = top-level, >0 = hierarchical core)
   CoreVerdict verdict = CoreVerdict::kTimeout;
   bool end_test_seen = false;
   int patterns = 0;        // per-attempt pattern budget from the plan
@@ -60,12 +62,31 @@ struct CoreReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Per-TAM slice of a campaign: which cores ran over this TAM (in plan
+/// order — deterministic, unlike completion order), the TCK/at-speed
+/// totals they cost, and how busy the TAM's channels were. The channel
+/// cap and utilization depend on scheduling, so fingerprints exclude them
+/// (like `threads` and wall times).
+struct TamReport {
+  int tam_index = 0;
+  std::string name;
+  int channels = 1;            // concurrent-channel cap applied
+  std::vector<int> core_order;  // core indices in plan order
+  std::size_t tap_clocks = 0;
+  std::size_t bist_cycles = 0;
+  double busy_seconds = 0.0;  // summed per-core wall time on this TAM
+  /// busy_seconds / (campaign wall * channels): 1.0 = the TAM's channels
+  /// never starved.
+  double utilization = 0.0;
+};
+
 /// Whole-campaign report: per-core records in plan order plus aggregated
-/// TCK / at-speed accounting.
+/// TCK / at-speed accounting and per-TAM slices.
 struct SessionReport {
   std::string soc_name;
-  int threads = 1;  // shards the campaign actually ran on
+  int threads = 1;  // worker threads the campaign actually ran on
   std::vector<CoreReport> cores;
+  std::vector<TamReport> tams;  // ascending TAM index; only TAMs that ran
   std::size_t total_tap_clocks = 0;
   std::size_t total_bist_cycles = 0;
   double wall_seconds = 0.0;

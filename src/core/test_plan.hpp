@@ -2,10 +2,11 @@
 //
 // A TestPlan says *what* to test — which cores, with what pattern budgets,
 // status-poll allowances, retry-on-timeout policy and optional coverage
-// targets — and on how many shards; the SocTestScheduler decides *how*.
-// This is the scheduling layer the SOC-test literature treats as first
-// class above the access mechanism: the access protocol (TAP -> TAM ->
-// P1500) is fixed, the campaign around it is data.
+// targets — and with how much access-level parallelism (worker threads,
+// per-TAM channel limits); the SocTestScheduler decides *how*. This is the
+// scheduling layer the SOC-test literature treats as first class above the
+// access mechanism: the access protocol (TAP -> TAM -> P1500, flat or
+// hierarchical) is fixed, the campaign around it is data.
 //
 // Per-core entries leave fields at their sentinel value (<= 0 / negative)
 // to inherit the plan-wide defaults, so a plan that tests every core the
@@ -36,9 +37,24 @@ struct CorePlan {
   /// fault-simulates each module under the BIST stimulus with its MISR
   /// model attached (expensive) and fails the core below the target.
   double coverage_target = -1.0;  // < 0 => plan default
+  /// TAM expected to serve this core. -1 (default) resolves from the SoC
+  /// topology; a non-negative value is *checked* against it, and a plan
+  /// assigning a core to a TAM that does not serve it is rejected at
+  /// resolve time.
+  int tam = -1;
+};
+
+/// Cap on concurrent session channels for one TAM.
+struct TamChannelLimit {
+  int tam = 0;
+  int channels = 1;
 };
 
 struct TestPlan {
+  /// Upper bound a per-TAM channel limit may take (an emulation guard, not
+  /// a hardware property; plans beyond it are rejected at resolve time).
+  static constexpr int kMaxChannelsPerTam = 64;
+
   // ---- plan-wide defaults, inherited by sentinel CorePlan fields ----
   int patterns = 1024;
   int poll_budget = 4;
@@ -46,10 +62,17 @@ struct TestPlan {
   int max_retries = 0;
   double coverage_target = 0.0;  // 0 = no coverage measurement
 
-  /// Worker shards; 0 => std::thread::hardware_concurrency(). Each shard
-  /// drives its own session channel, so cores on different shards run
-  /// concurrently.
+  /// Worker threads across all TAM channels; 0 =>
+  /// std::thread::hardware_concurrency(). Each busy worker drives its own
+  /// session channel, so independent core trees run concurrently.
   int num_threads = 1;
+
+  /// Default cap on concurrent channels per TAM; 0 = no cap (bounded by
+  /// num_threads and the available work).
+  int channels_per_tam = 0;
+
+  /// Per-TAM overrides of channels_per_tam.
+  std::vector<TamChannelLimit> tam_channels;
 
   /// Campaign entries in execution-priority order. Empty => every core of
   /// the SoC, in index order, with plan defaults.
@@ -74,6 +97,14 @@ struct TestPlan {
   }
   TestPlan& withThreads(int threads) {
     num_threads = threads;
+    return *this;
+  }
+  TestPlan& withChannelsPerTam(int channels) {
+    channels_per_tam = channels;
+    return *this;
+  }
+  TestPlan& withTamChannels(int tam, int channels) {
+    tam_channels.push_back(TamChannelLimit{tam, channels});
     return *this;
   }
   TestPlan& addCore(CorePlan core) {

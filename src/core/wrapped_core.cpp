@@ -44,6 +44,19 @@ void WrappedCore::finalize() {
   wrapper_ = std::make_unique<P1500Wrapper>(wbr_bits, std::move(hooks));
 }
 
+int WrappedCore::addChild(WrappedCore* child) {
+  if (child == nullptr) {
+    throw std::invalid_argument("WrappedCore: null child core");
+  }
+  if (wrapper_ == nullptr || child->wrapper_ == nullptr) {
+    throw std::logic_error(
+        "WrappedCore: both cores must be finalized before addChild");
+  }
+  const int slot = wrapper_->attachChild(&child->wrapper());
+  children_.push_back(child);
+  return slot;
+}
+
 void WrappedCore::onCommand(BistCommand cmd, std::uint16_t data) {
   cu_.command(cmd, data);
   if (cmd == BistCommand::kReset || cmd == BistCommand::kStart) {
@@ -56,6 +69,7 @@ void WrappedCore::systemClockTick() {
   const bool was_running = cu_.testEnable();
   cu_.tick();
   if (was_running && cu_.endTest() && !run_complete_) completeRun();
+  for (WrappedCore* c : children_) c->systemClockTick();
 }
 
 void WrappedCore::completeRun() {

@@ -40,6 +40,21 @@ class WrappedCore {
   /// Must be called after all modules are added.
   void finalize();
 
+  /// Attach an already-finalized child core reached through this core's
+  /// wrapper child chain (a wrapped core inside a wrapped core). Returns
+  /// the child's slot in the chain. The child shares this core's clock
+  /// domain: systemClockTick() fans out to the whole subtree, so a nested
+  /// core's at-speed run is driven through its top-level ancestor's TAM
+  /// selection. Both cores must be finalized; cycles and duplicates are
+  /// rejected by the wrapper chain.
+  int addChild(WrappedCore* child);
+  [[nodiscard]] int childCount() const noexcept {
+    return static_cast<int>(children_.size());
+  }
+  [[nodiscard]] WrappedCore& child(int slot) {
+    return *children_.at(static_cast<std::size_t>(slot));
+  }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] P1500Wrapper& wrapper() { return *wrapper_; }
   [[nodiscard]] const BistEngine& engine() const noexcept { return engine_; }
@@ -48,7 +63,9 @@ class WrappedCore {
     return engine_.moduleCount();
   }
 
-  /// One system clock (forwarded from Run-Test/Idle by the TAM).
+  /// One system clock (forwarded from Run-Test/Idle by the TAM). Fans out
+  /// to every child core: the subtree is one clock domain, like the
+  /// hardware it models.
   void systemClockTick();
 
   /// Fault-free signature of module `m` for `patterns` patterns.
@@ -70,6 +87,7 @@ class WrappedCore {
   std::unique_ptr<P1500Wrapper> wrapper_;
   std::vector<Netlist> physical_;
   std::vector<std::uint16_t> signatures_;
+  std::vector<WrappedCore*> children_;
   bool run_complete_ = false;
 };
 

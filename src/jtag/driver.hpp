@@ -1,9 +1,10 @@
 // High-level TAP driver: the software ATE.
 //
 // Produces the TMS/TDI bit streams for IR/DR scans and Run-Test/Idle dwell,
-// collecting TDO. All chip-level test sessions (core/session.hpp) and the
-// integration tests drive the stack exclusively through this bit-banging
-// interface, so the full 1149.1 -> TAM -> P1500 -> BIST path is exercised.
+// collecting TDO. Every session channel (core/session_channel.hpp, via the
+// tam/ate.hpp protocol) and the integration tests drive the stack
+// exclusively through this bit-banging interface, so the full 1149.1 ->
+// TAM -> P1500 -> BIST path is exercised.
 #ifndef COREBIST_JTAG_DRIVER_HPP_
 #define COREBIST_JTAG_DRIVER_HPP_
 

@@ -1,5 +1,8 @@
 #include "jtag/tap.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace corebist {
 
 std::string_view tapStateName(TapState s) {
@@ -84,7 +87,31 @@ TapController::TapController(int ir_width, std::uint32_t idcode)
       ir_shift_(static_cast<std::size_t>(ir_width), false) {}
 
 void TapController::registerInstruction(std::uint32_t ir_value, DrPort port) {
+  const std::uint32_t all_ones =
+      ir_width_ >= 32 ? 0xFFFFFFFFu : ((1u << ir_width_) - 1u);
+  if (ir_value > all_ones) {
+    throw std::invalid_argument("TapController: IR value " +
+                                std::to_string(ir_value) + " does not fit " +
+                                std::to_string(ir_width_) + " bits");
+  }
+  if (ir_value == kIdcode || ir_value == all_ones) {
+    throw std::invalid_argument(
+        "TapController: IR value " + std::to_string(ir_value) +
+        " is reserved (IDCODE / BYPASS)");
+  }
+  if (ports_.count(ir_value) != 0) {
+    throw std::invalid_argument("TapController: IR value " +
+                                std::to_string(ir_value) +
+                                " already bound to a data register");
+  }
   ports_[ir_value] = std::move(port);
+}
+
+int TapController::freeIrSlots() const noexcept {
+  // All codes minus IDCODE, the all-ones BYPASS, and the bound ports.
+  const std::uint64_t total = ir_width_ >= 32 ? (std::uint64_t{1} << 32)
+                                              : (std::uint64_t{1} << ir_width_);
+  return static_cast<int>(total - 2 - ports_.size());
 }
 
 TapController::DrPort* TapController::currentPort() {

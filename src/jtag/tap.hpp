@@ -49,7 +49,15 @@ class TapController {
 
   explicit TapController(int ir_width = 4, std::uint32_t idcode = 0xC0DEB157u);
 
+  /// Bind a DR port to an IR value. Throws std::invalid_argument when the
+  /// value does not fit the IR, collides with IDCODE or the all-ones
+  /// BYPASS code, or is already bound — multiple TAMs allocate disjoint IR
+  /// blocks on one chip TAP, and a silent overwrite would route one TAM's
+  /// scans into another's wrappers.
   void registerInstruction(std::uint32_t ir_value, DrPort port);
+
+  /// Number of IR codes still available for registerInstruction.
+  [[nodiscard]] int freeIrSlots() const noexcept;
 
   /// One TCK with the given TMS/TDI; returns TDO.
   bool clock(bool tms, bool tdi);

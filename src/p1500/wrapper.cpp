@@ -40,6 +40,12 @@ std::string_view wirName(WirInstruction i) {
       return "WS_CDR";
     case WirInstruction::kWsDr:
       return "WS_DR";
+    case WirInstruction::kWsChildSel:
+      return "WS_CHILD_SEL";
+    case WirInstruction::kWsChildWir:
+      return "WS_CHILD_WIR";
+    case WirInstruction::kWsChildDr:
+      return "WS_CHILD_DR";
   }
   return "?";
 }
@@ -50,8 +56,48 @@ P1500Wrapper::P1500Wrapper(int wbr_bits, Hooks hooks)
       wcdr_shift_(kWcdrBits, false),
       wdr_shift_(kWdrBits, false),
       wbr_shift_(static_cast<std::size_t>(wbr_bits), false),
-      wbr_update_(static_cast<std::size_t>(wbr_bits), false) {
+      wbr_update_(static_cast<std::size_t>(wbr_bits), false),
+      child_sel_shift_(kChildSelBits, false) {
   if (wbr_bits < 1) throw std::invalid_argument("P1500Wrapper: WBR empty");
+}
+
+int P1500Wrapper::attachChild(P1500Wrapper* child) {
+  if (child == nullptr) {
+    throw std::invalid_argument("P1500Wrapper: null child wrapper");
+  }
+  if (child == this || child->inSubtree(this)) {
+    throw std::invalid_argument(
+        "P1500Wrapper: attaching this child would create a wrapper cycle");
+  }
+  for (const P1500Wrapper* c : children_) {
+    if (c == child || c->inSubtree(child)) {
+      throw std::invalid_argument(
+          "P1500Wrapper: child wrapper already attached in this chain");
+    }
+  }
+  if (children_.size() >= (std::size_t{1} << kChildSelBits)) {
+    throw std::invalid_argument(
+        "P1500Wrapper: child chain full (WS_CHILD_SEL is " +
+        std::to_string(kChildSelBits) + " bits)");
+  }
+  children_.push_back(child);
+  return static_cast<int>(children_.size()) - 1;
+}
+
+P1500Wrapper* P1500Wrapper::selectedChild() const {
+  if (child_sel_ < 0 ||
+      static_cast<std::size_t>(child_sel_) >= children_.size()) {
+    return nullptr;
+  }
+  return children_[static_cast<std::size_t>(child_sel_)];
+}
+
+bool P1500Wrapper::inSubtree(const P1500Wrapper* w) const {
+  if (w == this) return true;
+  for (const P1500Wrapper* c : children_) {
+    if (c->inSubtree(w)) return true;
+  }
+  return false;
 }
 
 void P1500Wrapper::reset() {
@@ -61,7 +107,10 @@ void P1500Wrapper::reset() {
   std::fill(wdr_shift_.begin(), wdr_shift_.end(), false);
   std::fill(wbr_shift_.begin(), wbr_shift_.end(), false);
   std::fill(wbr_update_.begin(), wbr_update_.end(), false);
+  std::fill(child_sel_shift_.begin(), child_sel_shift_.end(), false);
   wby_ = false;
+  child_sel_ = -1;
+  for (P1500Wrapper* c : children_) c->reset();
 }
 
 int P1500Wrapper::selectedLength(bool select_wir) const {
@@ -76,6 +125,16 @@ int P1500Wrapper::selectedLength(bool select_wir) const {
       return kWcdrBits;
     case WirInstruction::kWsDr:
       return kWdrBits;
+    case WirInstruction::kWsChildSel:
+      return kChildSelBits;
+    case WirInstruction::kWsChildWir: {
+      const P1500Wrapper* c = selectedChild();
+      return c != nullptr ? c->selectedLength(true) : 1;
+    }
+    case WirInstruction::kWsChildDr: {
+      const P1500Wrapper* c = selectedChild();
+      return c != nullptr ? c->selectedLength(false) : 1;
+    }
   }
   return 1;
 }
@@ -89,9 +148,8 @@ bool P1500Wrapper::cycle(const WscSignals& wsc, bool wsi) {
     } else if (wsc.shift) {
       wso = shiftReg(wir_shift_, wsi);
     } else if (wsc.update) {
-      const std::uint32_t v = regValue(wir_shift_);
-      instr_ = v <= 4 ? static_cast<WirInstruction>(v)
-                      : WirInstruction::kWsBypass;
+      // Every 3-bit code is defined now that 5..7 address the child chain.
+      instr_ = static_cast<WirInstruction>(regValue(wir_shift_) & 0x7u);
     }
     return wso;
   }
@@ -131,6 +189,30 @@ bool P1500Wrapper::cycle(const WscSignals& wsc, bool wsi) {
         loadReg(wdr_shift_, wdr_last_capture_ & 0xFFFFu);
       } else if (wsc.shift) {
         wso = shiftReg(wdr_shift_, wsi);
+      }
+      break;
+    case WirInstruction::kWsChildSel:
+      if (wsc.capture) {
+        loadReg(child_sel_shift_, static_cast<unsigned>(child_sel_));
+      } else if (wsc.shift) {
+        wso = shiftReg(child_sel_shift_, wsi);
+      } else if (wsc.update) {
+        const std::uint32_t v = regValue(child_sel_shift_);
+        if (v < children_.size()) child_sel_ = static_cast<int>(v);
+      }
+      break;
+    case WirInstruction::kWsChildWir:
+    case WirInstruction::kWsChildDr:
+      if (P1500Wrapper* c = selectedChild()) {
+        // The parent is a plain wire while forwarding: the child register
+        // sits directly between this wrapper's WSI and WSO.
+        const bool to_child_wir = instr_ == WirInstruction::kWsChildWir;
+        wso = c->cycle(WscSignals{to_child_wir, wsc.capture, wsc.shift,
+                                  wsc.update},
+                       wsi);
+      } else if (wsc.shift) {
+        wso = wby_;  // no child routed: degrade to the 1-bit bypass
+        wby_ = wsi;
       }
       break;
   }

@@ -9,6 +9,15 @@
 //     test start, pattern count, status-read selection;
 //   * WDR (Wrapper Data Register): output register through which the TAP
 //     reads test status and MISR signatures.
+//
+// Hierarchy: a wrapper may own child wrappers (wrapped cores containing
+// wrapped cores). Three WIR instructions expose them without widening the
+// WIR: WS_CHILD_SEL scans a child-select register, WS_CHILD_WIR forwards
+// the scan to the selected child's WIR, and WS_CHILD_DR forwards it to
+// whichever register the child's WIR selects — including, recursively, the
+// child's own child chain. The parent acts as a plain wire while
+// forwarding, so a scan through N ancestors still shifts exactly the
+// target register's length.
 #ifndef COREBIST_P1500_WRAPPER_HPP_
 #define COREBIST_P1500_WRAPPER_HPP_
 
@@ -23,11 +32,14 @@ namespace corebist {
 
 /// WIR instruction set (3 bits).
 enum class WirInstruction : std::uint8_t {
-  kWsBypass = 0,  // WBY between WSI and WSO
-  kWsExtest = 1,  // WBR, outward facing
-  kWsIntest = 2,  // WBR, inward facing
-  kWsCdr = 3,     // WCDR: command delivery to the BIST engine
-  kWsDr = 4,      // WDR: status / signature upload
+  kWsBypass = 0,    // WBY between WSI and WSO
+  kWsExtest = 1,    // WBR, outward facing
+  kWsIntest = 2,    // WBR, inward facing
+  kWsCdr = 3,       // WCDR: command delivery to the BIST engine
+  kWsDr = 4,        // WDR: status / signature upload
+  kWsChildSel = 5,  // child-select register (hierarchical cores)
+  kWsChildWir = 6,  // forward the scan to the selected child's WIR
+  kWsChildDr = 7,   // forward the scan to the child's selected register
 };
 
 [[nodiscard]] std::string_view wirName(WirInstruction i);
@@ -54,7 +66,25 @@ class P1500Wrapper {
   /// `wbr_bits` is the boundary-register length (in-cells + out-cells).
   P1500Wrapper(int wbr_bits, Hooks hooks);
 
-  /// WRSTN: async reset — WIR returns to WS_BYPASS, registers clear.
+  /// Attach a child wrapper to this wrapper's child chain; returns the
+  /// child's slot (the value WS_CHILD_SEL latches to reach it). Throws for
+  /// a null/self/duplicate child, a child that already contains this
+  /// wrapper (a cycle), or a full chain.
+  int attachChild(P1500Wrapper* child);
+
+  /// Child currently latched by WS_CHILD_SEL; nullptr until the first
+  /// valid select. Child instructions behave as a 1-bit bypass while no
+  /// child is selected, so a scan can never reach a core the ATE has not
+  /// explicitly routed to.
+  [[nodiscard]] P1500Wrapper* selectedChild() const;
+  [[nodiscard]] int childCount() const noexcept {
+    return static_cast<int>(children_.size());
+  }
+  /// True when `w` is this wrapper or appears anywhere in its child tree.
+  [[nodiscard]] bool inSubtree(const P1500Wrapper* w) const;
+
+  /// WRSTN: async reset — WIR returns to WS_BYPASS, registers clear, the
+  /// child selection is dropped and the reset propagates down the tree.
   void reset();
 
   /// One WRCK rising edge. Returns the WSO bit presented during this cycle
@@ -75,6 +105,7 @@ class P1500Wrapper {
   static constexpr int kWirBits = 3;
   static constexpr int kWcdrBits = 19;  // 3-bit command + 16-bit data
   static constexpr int kWdrBits = 16;
+  static constexpr int kChildSelBits = 4;  // up to 16 children per wrapper
 
  private:
   Hooks hooks_;
@@ -86,6 +117,9 @@ class P1500Wrapper {
   std::vector<bool> wbr_shift_;
   std::vector<bool> wbr_update_;
   std::uint32_t wdr_last_capture_ = 0;
+  std::vector<P1500Wrapper*> children_;
+  int child_sel_ = -1;
+  std::vector<bool> child_sel_shift_;
 };
 
 }  // namespace corebist

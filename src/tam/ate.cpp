@@ -1,22 +1,46 @@
 #include "tam/ate.hpp"
 
-#include "tam/tam.hpp"
-
 namespace corebist {
 
-void P1500Ate::selectCore(int core_index) {
-  driver_.shiftIr(Tam::kIrSelect, tap_.irWidth());
-  driver_.shiftDr(static_cast<std::uint64_t>(core_index), Tam::kSelectBits);
+void P1500Ate::selectCore(int core_slot) {
+  driver_.shiftIr(ir_base_, tap_.irWidth());
+  driver_.shiftDr(static_cast<std::uint64_t>(core_slot), Tam::kSelectBits);
+  path_.clear();
+}
+
+void P1500Ate::scanWirAt(int depth, WirInstruction instr) {
+  if (depth == 0) {
+    driver_.shiftIr(ir_base_ + 1, tap_.irWidth());
+    driver_.shiftDr(static_cast<std::uint64_t>(instr), P1500Wrapper::kWirBits);
+    return;
+  }
+  // Route ancestors 0..depth-2 as WS_CHILD_DR and depth-1 as WS_CHILD_WIR,
+  // so a select_wir=0 TAM scan lands in the target's WIR; then restore
+  // depth-1 to WS_CHILD_DR so the next scan can pass *through* the target.
+  scanWirAt(depth - 1, WirInstruction::kWsChildWir);
+  wdrScanIr();
+  driver_.shiftDr(static_cast<std::uint64_t>(instr), P1500Wrapper::kWirBits);
+  scanWirAt(depth - 1, WirInstruction::kWsChildDr);
+}
+
+void P1500Ate::selectPath(const std::vector<int>& child_path) {
+  path_.clear();
+  for (std::size_t level = 0; level < child_path.size(); ++level) {
+    scanWirAt(static_cast<int>(level), WirInstruction::kWsChildSel);
+    wdrScanIr();
+    driver_.shiftDr(static_cast<std::uint64_t>(child_path[level]),
+                    P1500Wrapper::kChildSelBits);
+    path_.push_back(child_path[level]);
+  }
 }
 
 void P1500Ate::loadWir(WirInstruction instr) {
-  driver_.shiftIr(Tam::kIrWirScan, tap_.irWidth());
-  driver_.shiftDr(static_cast<std::uint64_t>(instr), P1500Wrapper::kWirBits);
+  scanWirAt(static_cast<int>(path_.size()), instr);
 }
 
 void P1500Ate::sendCommand(BistCommand cmd, std::uint16_t data) {
   loadWir(WirInstruction::kWsCdr);
-  driver_.shiftIr(Tam::kIrWdrScan, tap_.irWidth());
+  wdrScanIr();
   const std::uint64_t word =
       (static_cast<std::uint64_t>(data) << 3) | static_cast<std::uint64_t>(cmd);
   driver_.shiftDr(word, P1500Wrapper::kWcdrBits);
@@ -24,7 +48,7 @@ void P1500Ate::sendCommand(BistCommand cmd, std::uint16_t data) {
 
 std::uint16_t P1500Ate::readWdr() {
   loadWir(WirInstruction::kWsDr);
-  driver_.shiftIr(Tam::kIrWdrScan, tap_.irWidth());
+  wdrScanIr();
   return static_cast<std::uint16_t>(driver_.shiftDr(0, P1500Wrapper::kWdrBits));
 }
 

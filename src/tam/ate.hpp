@@ -3,17 +3,27 @@
 // The bit-banging sequences every session needs — select a core through the
 // TAM, load a wrapper WIR instruction, deliver a WCDR command, read the WDR
 // back — extracted from the old SocTestSession so the serial compatibility
-// shim and every scheduler shard drive the exact same protocol. One
-// P1500Ate owns one TapDriver over one TapController; it is not
-// thread-safe, but shards never share a channel.
+// shim and every scheduler channel drive the exact same protocol. One
+// P1500Ate owns one TapDriver over one TapController and speaks to one
+// TAM's IR block; it is not thread-safe, but channels never share an ATE.
+//
+// Hierarchical cores: selectPath() programs the WS_CHILD_SEL chain below
+// the TAM-selected top-level core, after which loadWir / sendCommand /
+// readWdr address the nested core at that path. Routing an ancestor's WIR
+// is itself a hierarchical scan, so the cost of reaching a core grows with
+// its depth — exactly the access-time trade hierarchical P1500 makes in
+// hardware — and every scan is fixed-length, so the protocol stays
+// deterministic.
 #ifndef COREBIST_TAM_ATE_HPP_
 #define COREBIST_TAM_ATE_HPP_
 
 #include <cstdint>
+#include <vector>
 
 #include "jtag/driver.hpp"
 #include "jtag/tap.hpp"
 #include "p1500/wrapper.hpp"
+#include "tam/tam.hpp"
 
 namespace corebist {
 
@@ -25,34 +35,64 @@ class P1500Ate {
   /// end_test flag in the status word (bit 1).
   static constexpr std::uint16_t kStatusEndTest = 0x2;
 
-  explicit P1500Ate(TapController& tap) : tap_(tap), driver_(tap) {}
+  /// Speak to the classic single-TAM IR block.
+  explicit P1500Ate(TapController& tap)
+      : P1500Ate(tap, Tam::kIrSelect) {}
+  /// Speak to the TAM whose IR block starts at `ir_base` (see
+  /// Tam::irSelect) — one ATE per TAM channel.
+  P1500Ate(TapController& tap, std::uint32_t ir_base)
+      : tap_(tap), driver_(tap), ir_base_(ir_base) {}
 
-  /// Test-Logic-Reset then settle in Run-Test/Idle.
-  void reset() { driver_.reset(); }
+  /// Test-Logic-Reset then settle in Run-Test/Idle. Forgets the routed
+  /// child path (wrapper WIRs are reprogrammed on the next scan anyway).
+  void reset() {
+    driver_.reset();
+    path_.clear();
+  }
 
-  /// Route the TAM to `core_index` (TAM_SELECT scan).
-  void selectCore(int core_index);
+  /// Route the TAM to top-level slot `core_slot` (TAM_SELECT scan) and
+  /// drop any routed child path.
+  void selectCore(int core_slot);
 
-  /// Load a WIR instruction into the selected core's wrapper.
+  /// Program the WS_CHILD_SEL chain below the selected top-level core so
+  /// subsequent loadWir / sendCommand / readWdr address the nested core
+  /// reached through `child_path` (one child slot per hierarchy level;
+  /// empty = the top-level core itself).
+  void selectPath(const std::vector<int>& child_path);
+
+  /// Load a WIR instruction into the routed core's wrapper.
   void loadWir(WirInstruction instr);
 
-  /// Deliver a BIST command through the selected core's WCDR.
+  /// Deliver a BIST command through the routed core's WCDR.
   void sendCommand(BistCommand cmd, std::uint16_t data);
 
-  /// Read the selected core's WDR (status word or selected MISR).
+  /// Read the routed core's WDR (status word or selected MISR).
   [[nodiscard]] std::uint16_t readWdr();
 
   /// Dwell in Run-Test/Idle: one system clock per TCK for the selected
-  /// core (the at-speed BIST run).
+  /// top-level core's clock domain (the at-speed BIST run; a parent
+  /// forwards the clock to its children).
   void runIdle(std::size_t cycles) { driver_.runIdle(cycles); }
 
   [[nodiscard]] std::size_t tckCount() const noexcept {
     return tap_.tckCount();
   }
+  /// Child path currently routed below the selected top-level core.
+  [[nodiscard]] const std::vector<int>& path() const noexcept {
+    return path_;
+  }
 
  private:
+  /// Scan `instr` into the WIR of the ancestor at `depth` along the routed
+  /// path (depth 0 = the top-level core). Leaves every shallower ancestor
+  /// holding WS_CHILD_DR, so a follow-up data scan reaches that depth.
+  void scanWirAt(int depth, WirInstruction instr);
+  void wdrScanIr() { driver_.shiftIr(ir_base_ + 2, tap_.irWidth()); }
+
   TapController& tap_;
   TapDriver driver_;
+  std::uint32_t ir_base_;
+  std::vector<int> path_;
 };
 
 }  // namespace corebist

@@ -2,7 +2,10 @@
 
 namespace corebist {
 
-Tam::Tam(TapController& tap) : select_shift_(kSelectBits, false) {
+Tam::Tam(TapController& tap, std::uint32_t ir_base, std::string name)
+    : select_shift_(kSelectBits, false),
+      ir_base_(ir_base),
+      name_(std::move(name)) {
   registerPorts(tap);
 }
 
@@ -55,7 +58,7 @@ void Tam::registerPorts(TapController& tap) {
   // still latched. Forwarding that clock would tick a core this channel
   // does not own (a cross-shard data race under the sharded scheduler);
   // system clocks flow only under the wrapper instructions below.
-  tap.registerInstruction(kIrSelect, std::move(select_port));
+  tap.registerInstruction(irSelect(), std::move(select_port));
 
   auto makeWrapperPort = [this, idleTick](bool select_wir) {
     TapController::DrPort port;
@@ -78,8 +81,8 @@ void Tam::registerPorts(TapController& tap) {
     port.run_idle = idleTick;
     return port;
   };
-  tap.registerInstruction(kIrWirScan, makeWrapperPort(true));
-  tap.registerInstruction(kIrWdrScan, makeWrapperPort(false));
+  tap.registerInstruction(irWirScan(), makeWrapperPort(true));
+  tap.registerInstruction(irWdrScan(), makeWrapperPort(false));
 }
 
 }  // namespace corebist

@@ -1,18 +1,25 @@
 // Test Access Mechanism: the custom glue between the chip TAP controller
 // and the P1500 wrappers (paper Fig. 1 / §2).
 //
-// Three chip-level instructions are allocated on the TAP:
+// Three chip-level instructions are allocated on the TAP per TAM:
 //   TAM_SELECT   - DR is an 8-bit core-select register;
 //   TAM_WIR_SCAN - DR is the selected wrapper's WIR (SelectWIR = 1);
 //   TAM_WDR_SCAN - DR is whichever wrapper register the WIR selected
-//                  (WBY / WBR / WCDR / WDR).
+//                  (WBY / WBR / WCDR / WDR, or a child chain for
+//                  hierarchical cores).
 // CaptureDR / ShiftDR / UpdateDR map 1:1 onto the WSC capture/shift/update
 // pulses, and Run-Test/Idle clocks are forwarded to the cores as system
 // clocks so the BIST engines run while the ATE idles the TAP.
+//
+// A chip may carry several TAMs, each serving its own subset of wrapped
+// cores: every TAM claims a contiguous block of kIrStride IR codes
+// starting at its `ir_base` (the default base keeps the classic
+// single-TAM layout), and the TAP rejects overlapping blocks.
 #ifndef COREBIST_TAM_TAM_HPP_
 #define COREBIST_TAM_TAM_HPP_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "jtag/tap.hpp"
@@ -25,10 +32,24 @@ class Tam {
   static constexpr std::uint32_t kIrSelect = 0x2;
   static constexpr std::uint32_t kIrWirScan = 0x3;
   static constexpr std::uint32_t kIrWdrScan = 0x4;
+  /// IR codes one TAM occupies (select / WIR scan / WDR scan).
+  static constexpr std::uint32_t kIrStride = 3;
   /// Width of the TAM_SELECT core-select data register.
   static constexpr int kSelectBits = 8;
 
-  explicit Tam(TapController& tap);
+  /// Classic single-TAM layout: IR block at kIrSelect.
+  explicit Tam(TapController& tap) : Tam(tap, kIrSelect) {}
+  /// Additional TAMs claim their own IR block of kIrStride codes.
+  Tam(TapController& tap, std::uint32_t ir_base, std::string name = "tam");
+
+  [[nodiscard]] std::uint32_t irSelect() const noexcept { return ir_base_; }
+  [[nodiscard]] std::uint32_t irWirScan() const noexcept {
+    return ir_base_ + 1;
+  }
+  [[nodiscard]] std::uint32_t irWdrScan() const noexcept {
+    return ir_base_ + 2;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Attach a wrapper; returns its core index. `system_tick` (optional) is
   /// pulsed once per Run-Test/Idle TCK while this core is selected.
@@ -54,6 +75,8 @@ class Tam {
   std::vector<CoreSlot> cores_;
   int selected_ = -1;
   std::vector<bool> select_shift_;
+  std::uint32_t ir_base_;
+  std::string name_;
 };
 
 }  // namespace corebist

@@ -1,0 +1,331 @@
+// Hierarchical multi-TAM SoC campaigns: randomized topologies (1-4 TAMs,
+// nesting depth <= 3, mixed core sizes) prove the scheduler fingerprint-
+// identical to the serial single-channel path under every TAM / thread /
+// channel-limit combination, plus negative tests for plans and topologies
+// the resolver must reject. Style follows tests/wide_fsim_test.cpp: a
+// deterministic generator seeded per case, one reference run, then
+// equivalence sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/session_channel.hpp"
+#include "core/soc.hpp"
+#include "netlist/builder.hpp"
+
+namespace corebist {
+namespace {
+
+/// Small self-checking module; `twist` varies structure, `width` size, so
+/// cores carry genuinely different logic and different signatures.
+Netlist makeToyModule(int twist, int width) {
+  Netlist nl("toy" + std::to_string(twist) + "w" + std::to_string(width));
+  Builder b(nl);
+  const Bus x = b.input("x", width);
+  const Bus q = b.state("q", width);
+  b.connect(q, b.bw(GateType::kXor, x, b.shiftConst(q, 1 + twist % 3)));
+  b.output("y", q);
+  b.output("p", Bus{b.reduceXor(q)});
+  nl.validate();
+  return nl;
+}
+
+std::unique_ptr<WrappedCore> makeCore(const std::string& name, int twist,
+                                      int width) {
+  auto core = std::make_unique<WrappedCore>(name);
+  core->addModule(makeToyModule(twist, width));
+  return core;
+}
+
+/// One randomized SoC: 1-4 TAMs, 2-4 top-level cores, a guaranteed
+/// depth-2 chain under top core 0, random extra nesting to depth 3,
+/// random defects. Deterministic in `case_id`, so two calls build
+/// byte-identical chips.
+struct RandomSoc {
+  std::unique_ptr<Soc> soc;
+  int tam_count = 1;
+  int max_depth = 0;
+};
+
+RandomSoc buildRandomSoc(int case_id) {
+  std::mt19937 rng(0xBEEF + static_cast<unsigned>(case_id));
+  RandomSoc r;
+  r.soc = std::make_unique<Soc>("hier_soc_" + std::to_string(case_id));
+  r.tam_count = 1 + case_id % 4;
+  for (int t = 1; t < r.tam_count; ++t) (void)r.soc->addTam();
+
+  int twist = 0;
+  auto width = [&rng] { return 8 + static_cast<int>(rng() % 5); };
+  const int n_top = 2 + static_cast<int>(rng() % 3);
+  std::vector<int> tops;
+  for (int c = 0; c < n_top; ++c) {
+    const int tam = static_cast<int>(rng() % static_cast<unsigned>(
+                                                r.tam_count));
+    tops.push_back(r.soc->attachCore(
+        makeCore("top" + std::to_string(c), twist++, width()), tam));
+  }
+  // Guaranteed nested chain of depth 2 under the first top-level core.
+  const int child0 = r.soc->attachChildCore(
+      makeCore("nest1", twist++, width()), tops[0]);
+  (void)r.soc->attachChildCore(makeCore("nest2", twist++, width()), child0);
+  r.max_depth = 2;
+  // Random extra nesting elsewhere, depth <= 3.
+  for (std::size_t c = 1; c < tops.size(); ++c) {
+    int parent = tops[c];
+    for (int d = 1; d <= 3 && rng() % 2 == 0; ++d) {
+      parent = r.soc->attachChildCore(
+          makeCore("n" + std::to_string(c) + "d" + std::to_string(d),
+                   twist++, width()),
+          parent);
+      r.max_depth = std::max(r.max_depth, d);
+    }
+  }
+  // Random defects keep all three verdicts in play.
+  for (int c = 0; c < r.soc->coreCount(); ++c) {
+    if (rng() % 3 == 0) {
+      const GateId victim = 3 + rng() % 4;
+      const GateType twisted =
+          rng() % 2 == 0 ? GateType::kXnor : GateType::kNand;
+      r.soc->core(c).injectDefect(0, victim, twisted);
+    }
+  }
+  return r;
+}
+
+/// Campaign over every core in a shuffled (but case-deterministic) order,
+/// with some entries starved into timeouts/retries and random per-TAM
+/// channel caps.
+TestPlan makeRandomPlan(const RandomSoc& r, int case_id) {
+  std::mt19937 rng(0xF00D + static_cast<unsigned>(case_id));
+  std::vector<int> order(static_cast<std::size_t>(r.soc->coreCount()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  TestPlan plan = TestPlan{}.withPatterns(96 + static_cast<int>(rng() % 3) *
+                                                   32);
+  for (const int core : order) {
+    if (rng() % 4 == 0) {
+      // Starved attempt: the poll budget ends long before the run can.
+      plan.addCore(CorePlan{.core_index = core,
+                            .patterns = 400,
+                            .warmup_idle = 16,
+                            .poll_budget = 2,
+                            .poll_idle = 8,
+                            .max_retries = static_cast<int>(rng() % 2)});
+    } else {
+      plan.addCore(core);
+    }
+  }
+  for (int t = 0; t < r.tam_count; ++t) {
+    if (rng() % 2 == 0) {
+      plan.withTamChannels(t, 1 + static_cast<int>(rng() % 3));
+    }
+  }
+  return plan;
+}
+
+TEST(HierTam, RandomizedTopologiesAreFingerprintIdenticalToSerial) {
+  // The acceptance property: across randomized topologies — including
+  // >= 20 with >= 2 TAMs and a nested depth-2 core — every TAM/thread
+  // combination reproduces the serial single-channel fingerprint bit for
+  // bit.
+  constexpr int kCases = 28;
+  int multi_tam_nested_cases = 0;
+  for (int case_id = 0; case_id < kCases; ++case_id) {
+    RandomSoc ref = buildRandomSoc(case_id);
+    const TestPlan base = makeRandomPlan(ref, case_id);
+    const std::string reference =
+        SocTestScheduler(*ref.soc)
+            .run(TestPlan(base).withThreads(1))
+            .fingerprint();
+    if (ref.tam_count >= 2 && ref.max_depth >= 2) ++multi_tam_nested_cases;
+
+    for (const int threads : {2, 8}) {
+      RandomSoc fresh = buildRandomSoc(case_id);  // identical initial state
+      const SessionReport report =
+          SocTestScheduler(*fresh.soc)
+              .run(TestPlan(base).withThreads(threads));
+      ASSERT_EQ(report.fingerprint(), reference)
+          << "case " << case_id << " threads " << threads << " tams "
+          << ref.tam_count << " depth " << ref.max_depth;
+    }
+  }
+  EXPECT_GE(multi_tam_nested_cases, 20);
+}
+
+TEST(HierTam, NestedDefectIsLocalizedThroughTheChildChain) {
+  Soc soc("nested");
+  const int tam1 = soc.addTam("fast_tam");
+  const int top = soc.attachCore(makeCore("top", 1, 10), tam1);
+  const int child = soc.attachChildCore(makeCore("child", 2, 10), top);
+  const int grand = soc.attachChildCore(makeCore("grand", 3, 10), child);
+  soc.core(grand).injectDefect(0, 4, GateType::kNor);
+
+  SocTestScheduler scheduler(soc);
+  const SessionReport report =
+      scheduler.run(TestPlan{}.withPatterns(200).withThreads(2));
+  ASSERT_EQ(report.cores.size(), 3u);
+  EXPECT_EQ(report.core(top)->verdict, CoreVerdict::kPass);
+  EXPECT_EQ(report.core(child)->verdict, CoreVerdict::kPass);
+  EXPECT_EQ(report.core(grand)->verdict, CoreVerdict::kSignatureMismatch);
+  EXPECT_EQ(report.core(grand)->depth, 2);
+  EXPECT_EQ(report.core(grand)->tam, tam1);
+  // Reaching a nested core costs extra WIR routing scans.
+  EXPECT_GT(report.core(grand)->tap_clocks, report.core(top)->tap_clocks);
+
+  soc.core(grand).healModule(0);
+  const CoreReport healed =
+      scheduler.testCore(CorePlan{.core_index = grand, .patterns = 200});
+  EXPECT_EQ(healed.verdict, CoreVerdict::kPass) << healed.summary();
+}
+
+TEST(HierTam, PerTamAccountingSlicesTheCampaign) {
+  Soc soc("two_tams");
+  const int t1 = soc.addTam("bulk");
+  const int a = soc.attachCore(makeCore("a", 1, 9), 0);
+  const int b = soc.attachCore(makeCore("b", 2, 9), t1);
+  const int c = soc.attachCore(makeCore("c", 3, 9), t1);
+  const int nested = soc.attachChildCore(makeCore("d", 4, 9), b);
+
+  TestPlan plan = TestPlan{}.withPatterns(128).withThreads(2);
+  plan.addCore(c).addCore(a).addCore(nested).addCore(b);
+  const SessionReport report = SocTestScheduler(soc).run(plan);
+
+  ASSERT_EQ(report.tams.size(), 2u);
+  EXPECT_EQ(report.tams[0].tam_index, 0);
+  EXPECT_EQ(report.tams[0].name, "tam0");
+  EXPECT_EQ(report.tams[1].tam_index, t1);
+  EXPECT_EQ(report.tams[1].name, "bulk");
+  // Core order is plan order filtered per TAM, not completion order.
+  EXPECT_EQ(report.tams[0].core_order, std::vector<int>({a}));
+  EXPECT_EQ(report.tams[1].core_order, std::vector<int>({c, nested, b}));
+  std::size_t tam_tcks = 0;
+  for (const TamReport& tr : report.tams) tam_tcks += tr.tap_clocks;
+  EXPECT_EQ(tam_tcks, report.total_tap_clocks);
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  const std::string fp = report.fingerprint();
+  EXPECT_NE(fp.find("\"tams\""), std::string::npos);
+  EXPECT_EQ(fp.find("\"utilization\""), std::string::npos);
+  EXPECT_EQ(fp.find("\"channels\""), std::string::npos);
+}
+
+TEST(HierTam, PlanAssigningACoreToTheWrongTamIsRejected) {
+  Soc soc("mismatch");
+  const int t1 = soc.addTam();
+  const int a = soc.attachCore(makeCore("a", 1, 9), 0);
+  SocTestScheduler scheduler(soc);
+
+  TestPlan wrong_tam;
+  wrong_tam.addCore(CorePlan{.core_index = a, .tam = t1});
+  EXPECT_THROW((void)scheduler.run(wrong_tam), std::invalid_argument);
+  TestPlan bogus_tam;
+  bogus_tam.addCore(CorePlan{.core_index = a, .tam = 99});
+  EXPECT_THROW((void)scheduler.run(bogus_tam), std::invalid_argument);
+  // The explicit assignment that matches the topology is fine.
+  TestPlan right_tam;
+  right_tam.addCore(CorePlan{.core_index = a, .tam = 0});
+  EXPECT_EQ(scheduler.run(right_tam).cores.at(0).verdict, CoreVerdict::kPass);
+}
+
+TEST(HierTam, OverLimitChannelConfigsAreRejected) {
+  Soc soc("limits");
+  const int a = soc.attachCore(makeCore("a", 1, 9));
+  (void)a;
+  SocTestScheduler scheduler(soc);
+
+  EXPECT_THROW((void)scheduler.run(TestPlan{}.withTamChannels(0, 0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)scheduler.run(TestPlan{}.withTamChannels(
+                   0, TestPlan::kMaxChannelsPerTam + 1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)scheduler.run(TestPlan{}.withTamChannels(5, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)scheduler.run(TestPlan{}.withTamChannels(0, 2).withTamChannels(
+          0, 3)),
+      std::invalid_argument);
+  TestPlan bad_default;
+  bad_default.channels_per_tam = -1;
+  EXPECT_THROW((void)scheduler.run(bad_default), std::invalid_argument);
+  // A valid cap runs and is reported.
+  const SessionReport ok =
+      scheduler.run(TestPlan{}.withPatterns(64).withTamChannels(0, 1));
+  ASSERT_EQ(ok.tams.size(), 1u);
+  EXPECT_EQ(ok.tams[0].channels, 1);
+}
+
+TEST(HierTam, BrokenHierarchiesAreRejectedAtBuildTime) {
+  Soc soc("broken");
+  EXPECT_THROW((void)soc.attachCore(makeCore("a", 1, 9), 7),
+               std::invalid_argument);  // no such TAM
+  const int a = soc.attachCore(makeCore("a", 1, 9));
+  EXPECT_THROW((void)soc.attachChildCore(makeCore("b", 2, 9), -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)soc.attachChildCore(makeCore("b", 2, 9), 99),
+               std::invalid_argument);
+  // Nesting beyond kMaxHierarchyDepth is refused.
+  int parent = a;
+  for (int d = 1; d <= Soc::kMaxHierarchyDepth; ++d) {
+    parent = soc.attachChildCore(makeCore("d" + std::to_string(d), d, 8),
+                                 parent);
+  }
+  EXPECT_THROW((void)soc.attachChildCore(makeCore("deep", 9, 8), parent),
+               std::invalid_argument);
+  // The chip TAP's 4-bit IR holds exactly 4 TAM blocks.
+  Soc wide("wide");
+  for (int t = 1; t < 4; ++t) (void)wide.addTam();
+  EXPECT_THROW((void)wide.addTam(), std::invalid_argument);
+  // A child listed twice in one plan is still a duplicate.
+  Soc dup("dup");
+  const int top = dup.attachCore(makeCore("t", 1, 9));
+  const int kid = dup.attachChildCore(makeCore("k", 2, 9), top);
+  TestPlan twice;
+  twice.addCore(kid).addCore(top).addCore(kid);
+  EXPECT_THROW((void)SocTestScheduler(dup).run(twice), std::invalid_argument);
+}
+
+TEST(HierTam, ChannelRefusesCoresOfOtherTams) {
+  Soc soc("channel_guard");
+  const int t1 = soc.addTam();
+  (void)soc.attachCore(makeCore("a", 1, 9), 0);
+  const int b = soc.attachCore(makeCore("b", 2, 9), t1);
+  SessionChannel channel(soc, 0);
+  std::mutex mu;
+  EXPECT_THROW(
+      (void)channel.testCore(CorePlan{.core_index = b, .patterns = 64},
+                             nullptr, mu),
+      std::logic_error);
+}
+
+TEST(HierTam, RerunOnTheSameHierarchicalSocIsIdentical) {
+  // Campaigns leave nested cores re-testable: serial then sharded on one
+  // chip yields the same fingerprint (state perturbations from testing a
+  // parent — shared clock domain ticks — are erased by each attempt's
+  // kReset/kLoadCount/kStart preamble).
+  RandomSoc r = buildRandomSoc(3);
+  const TestPlan plan = makeRandomPlan(r, 3);
+  SocTestScheduler scheduler(*r.soc);
+  const std::string first =
+      scheduler.run(TestPlan(plan).withThreads(1)).fingerprint();
+  const std::string second =
+      scheduler.run(TestPlan(plan).withThreads(4)).fingerprint();
+  EXPECT_EQ(first, second);
+}
+
+TEST(HierTam, ChipTapIsCreditedAcrossTams) {
+  RandomSoc r = buildRandomSoc(5);
+  const std::size_t before = r.soc->tap().tckCount();
+  const SessionReport report = SocTestScheduler(*r.soc).run(
+      TestPlan{}.withPatterns(96).withThreads(2));
+  EXPECT_EQ(r.soc->tap().tckCount() - before, report.total_tap_clocks);
+}
+
+}  // namespace
+}  // namespace corebist

@@ -138,14 +138,91 @@ TEST(P1500, ResetReturnsToBypass) {
   EXPECT_EQ(w.instruction(), WirInstruction::kWsBypass);
 }
 
-TEST(P1500, UndefinedInstructionFallsBackToBypass) {
+TEST(P1500, ChildInstructionsWithoutChildrenActAsBypass) {
+  // All eight 3-bit codes are defined now that 5..7 address the child
+  // chain; on a leaf wrapper the child instructions degrade to the 1-bit
+  // bypass, so a scan can never reach logic that is not there.
   P1500Wrapper::Hooks hooks;
   P1500Wrapper w(4, hooks);
   for (int i = 0; i < 3; ++i) {
     w.cycle(WscSignals{true, false, true, false}, true);  // 0b111 = 7
   }
   w.cycle(WscSignals{true, false, false, true}, false);
-  EXPECT_EQ(w.instruction(), WirInstruction::kWsBypass);
+  EXPECT_EQ(w.instruction(), WirInstruction::kWsChildDr);
+  EXPECT_EQ(w.selectedChild(), nullptr);
+  EXPECT_EQ(w.selectedLength(false), 1);
+  // A walking bit through the degraded path behaves like WBY.
+  EXPECT_FALSE(w.cycle(WscSignals{false, false, true, false}, true));
+  EXPECT_TRUE(w.cycle(WscSignals{false, false, true, false}, false));
+}
+
+TEST(P1500, ChildChainRoutesScansToNestedWrappers) {
+  // Parent -> child -> grandchild: WS_CHILD_SEL latches the slot,
+  // WS_CHILD_WIR scans the child's WIR, WS_CHILD_DR reaches whatever the
+  // child's WIR selects — recursively.
+  BistCommand got_cmd = BistCommand::kNop;
+  std::uint16_t got_data = 0;
+  P1500Wrapper::Hooks leaf_hooks;
+  leaf_hooks.command = [&](BistCommand c, std::uint16_t d) {
+    got_cmd = c;
+    got_data = d;
+  };
+  P1500Wrapper parent(4, {});
+  P1500Wrapper child(4, {});
+  P1500Wrapper grandchild(4, std::move(leaf_hooks));
+  EXPECT_EQ(parent.attachChild(&child), 0);
+  EXPECT_EQ(child.attachChild(&grandchild), 0);
+
+  auto scanWir = [](P1500Wrapper& w, unsigned instr) {
+    for (int i = 0; i < P1500Wrapper::kWirBits; ++i) {
+      w.cycle(WscSignals{true, false, true, false}, ((instr >> i) & 1u) != 0);
+    }
+    w.cycle(WscSignals{true, false, false, true}, false);
+  };
+  auto scanDr = [](P1500Wrapper& w, std::uint64_t word, int bits) {
+    for (int i = 0; i < bits; ++i) {
+      w.cycle(WscSignals{false, false, true, false}, ((word >> i) & 1u) != 0);
+    }
+    w.cycle(WscSignals{false, false, false, true}, false);
+  };
+
+  // parent.childSel <- 0, then route parent's DR to the child's WIR.
+  scanWir(parent, 5);  // WS_CHILD_SEL
+  scanDr(parent, 0, P1500Wrapper::kChildSelBits);
+  EXPECT_EQ(parent.selectedChild(), &child);
+  scanWir(parent, 6);  // WS_CHILD_WIR: parent's DR = child's WIR
+  scanDr(parent, 5, P1500Wrapper::kWirBits);  // child.WIR <- WS_CHILD_SEL
+  EXPECT_EQ(child.instruction(), WirInstruction::kWsChildSel);
+  scanWir(parent, 7);  // WS_CHILD_DR: parent's DR = child's selected DR
+  scanDr(parent, 0, P1500Wrapper::kChildSelBits);  // child.childSel <- 0
+  EXPECT_EQ(child.selectedChild(), &grandchild);
+  // Route the grandchild's WCDR: child forwards WIR scans, then DR scans.
+  scanWir(parent, 6);
+  scanDr(parent, 6, P1500Wrapper::kWirBits);  // child.WIR <- WS_CHILD_WIR
+  scanWir(parent, 7);
+  scanDr(parent, 3, P1500Wrapper::kWirBits);  // grandchild.WIR <- WS_CDR
+  EXPECT_EQ(grandchild.instruction(), WirInstruction::kWsCdr);
+  scanWir(parent, 6);
+  scanDr(parent, 7, P1500Wrapper::kWirBits);  // child.WIR <- WS_CHILD_DR
+  scanWir(parent, 7);
+  EXPECT_EQ(parent.selectedLength(false), P1500Wrapper::kWcdrBits);
+  const std::uint32_t word = (0x0123u << 3) | 2u;  // kLoadCount(2)
+  scanDr(parent, word, P1500Wrapper::kWcdrBits);
+  EXPECT_EQ(got_cmd, BistCommand::kLoadCount);
+  EXPECT_EQ(got_data, 0x0123u);
+}
+
+TEST(P1500, ChildChainRejectsCyclesAndDuplicates) {
+  P1500Wrapper a(4, {});
+  P1500Wrapper b(4, {});
+  P1500Wrapper c(4, {});
+  a.attachChild(&b);
+  b.attachChild(&c);
+  EXPECT_THROW(a.attachChild(&a), std::invalid_argument);  // self
+  EXPECT_THROW(a.attachChild(&b), std::invalid_argument);  // duplicate
+  EXPECT_THROW(a.attachChild(&c), std::invalid_argument);  // already nested
+  EXPECT_THROW(c.attachChild(&a), std::invalid_argument);  // cycle
+  EXPECT_THROW(b.attachChild(nullptr), std::invalid_argument);
 }
 
 TEST(Tam, NoSystemTicksLeakDuringCoreSelection) {
