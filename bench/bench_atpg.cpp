@@ -1,0 +1,168 @@
+// Batched ATPG throughput: the Table 3 full-scan drivers (random bootstrap
+// + PODEM top-up batches for stuck-at, LOS pair batches for transition),
+// all candidate grading through FaultSim::run. Emits BENCH_atpg.json
+// (current directory) so patterns/sec and the PODEM-call economy are
+// tracked from PR to PR.
+//
+// Metrics: patterns_per_sec counts emitted test patterns per second of
+// median wall time (generation + batch grading); podem_calls counts PODEM
+// invocations — the term that dominates once random coverage plateaus, and
+// the one batch grading shrinks by dropping collateral detections across
+// the whole batch before the next target is chosen. The thread sweep
+// re-runs batch grading sharded across a ParallelFaultSim and (in --quick
+// CI mode, where the CPU budget never binds) exits nonzero if any outcome
+// field diverges from the serial run.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "case_study.hpp"
+#include "fault/comb_fsim.hpp"
+#include "fault/fault.hpp"
+#include "scan/scan.hpp"
+
+using namespace corebist;
+using namespace corebist::bench;
+
+namespace {
+
+struct Row {
+  std::string module;
+  std::string fault_type;  // "SAF" | "TDF"
+  int threads = 1;
+  Timing t;
+  FullScanAtpgResult res;
+
+  [[nodiscard]] double patternsPerSec() const {
+    return t.median > 0 ? static_cast<double>(res.patterns) / t.median : 0.0;
+  }
+};
+
+void printRow(const Row& r) {
+  std::printf("  %-13s %-4s %d thr  %7.3fs med (%7.3fs min)  FC %6.2f%%  "
+              "%6zu patterns  %8.0f patterns/s  %6zu podem calls  "
+              "%4zu batches  %5zu aborted\n",
+              r.module.c_str(), r.fault_type.c_str(), r.threads, r.t.median,
+              r.t.min, r.res.coverage(), r.res.patterns, r.patternsPerSec(),
+              r.res.podem_calls, r.res.batches, r.res.aborted);
+}
+
+bool sameOutcome(const FullScanAtpgResult& a, const FullScanAtpgResult& b) {
+  return a.detected == b.detected && a.aborted == b.aborted &&
+         a.patterns == b.patterns && a.podem_calls == b.podem_calls &&
+         a.batches == b.batches && a.test_cycles == b.test_cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quickMode(argc, argv);
+  printHeader("Batched full-scan ATPG throughput (BENCH_atpg.json)");
+  CaseStudy cs;
+
+  const int repeats = quick ? 3 : 5;
+  struct Cfg {
+    int slot;
+    std::vector<int> chains;
+  };
+  std::vector<Cfg> cfgs = {{cs.m_bn, {}}, {cs.m_cu, {14, 28}}};
+  if (!quick) cfgs.push_back({cs.m_cn, {}});
+
+  FullScanAtpgOptions base;
+  base.max_random_blocks = quick ? 8 : 48;
+  base.random_stall_blocks = quick ? 3 : 6;
+  // The quick (CI) budget must never bind, no matter how loaded the
+  // runner: outcomes stay a pure function of the seed, which is what lets
+  // the thread sweep hard-gate equality. Full mode keeps a real budget and
+  // reports divergence as a warning only.
+  base.podem_budget_seconds = quick ? 1e9 : 60.0;
+
+  std::vector<Row> rows;
+  bool thread_sweep_identical = true;
+  for (const Cfg& cfg : cfgs) {
+    const Netlist& nl = cs.module(cfg.slot);
+    const Netlist scanned = buildScannedModule(nl, cfg.chains);
+    const ScanView view = makeScanView(scanned, cfg.chains);
+    const FaultUniverse u = enumerateStuckAt(scanned);
+    const auto tdf = toTransitionFaults(u.faults);
+    std::printf("\n%s: %zu stuck-at / %zu transition faults "
+                "(full-scan view, batch %d)\n",
+                scanned.name().c_str(), u.faults.size(), tdf.size(),
+                base.batch_patterns);
+
+    FullScanAtpgResult saf_serial;
+    FullScanAtpgResult tdf_serial;
+    for (const int threads : {1, 2}) {
+      FullScanAtpgOptions o = base;
+      o.num_threads = threads;
+      Row saf{scanned.name(), "SAF", threads, {}, {}};
+      saf.t = timeRepeats(repeats, [&] {
+        saf.res = runFullScanAtpg(scanned, view, u.faults, o);
+      });
+      rows.push_back(saf);
+      printRow(rows.back());
+      Row tr{scanned.name(), "TDF", threads, {}, {}};
+      tr.t = timeRepeats(repeats, [&] {
+        tr.res = runFullScanTransition(scanned, view, tdf, o);
+      });
+      rows.push_back(tr);
+      printRow(rows.back());
+      if (threads == 1) {
+        saf_serial = saf.res;
+        tdf_serial = tr.res;
+      } else if (!sameOutcome(saf_serial, saf.res) ||
+                 !sameOutcome(tdf_serial, tr.res)) {
+        std::fprintf(stderr,
+                     "%s: %d-thread batch grading diverged from the serial "
+                     "outcome on %s\n",
+                     quick ? "FATAL" : "warning", threads,
+                     scanned.name().c_str());
+        thread_sweep_identical = false;
+      }
+    }
+  }
+  if (quick && !thread_sweep_identical) return 1;
+
+  std::FILE* f = std::fopen("BENCH_atpg.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_atpg.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"table3 full-scan ATPG, batched "
+               "FaultSim::run grading\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
+  std::fprintf(f, "  \"batch_patterns\": %d,\n", base.batch_patterns);
+  std::fprintf(f, "  \"thread_sweep_identical\": %s,\n",
+               thread_sweep_identical ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"module\": \"%s\", \"fault_type\": \"%s\", \"threads\": %d, "
+        "\"faults\": %zu, \"detected\": %zu, \"coverage\": %.3f, "
+        "\"aborted\": %zu, \"patterns\": %zu, \"test_cycles\": %zu, "
+        "\"podem_calls\": %zu, \"batches\": %zu, "
+        "\"seconds_median\": %.4f, \"seconds_min\": %.4f, "
+        "\"patterns_per_sec\": %.1f}%s\n",
+        r.module.c_str(), r.fault_type.c_str(), r.threads,
+        r.res.total_faults, r.res.detected, r.res.coverage(), r.res.aborted,
+        r.res.patterns, r.res.test_cycles, r.res.podem_calls, r.res.batches,
+        r.t.median, r.t.min, r.patternsPerSec(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("\n(hardware_concurrency=%u, repeats=%d, batch=%d)\n"
+              "-> BENCH_atpg.json\n",
+              std::thread::hardware_concurrency(), repeats,
+              base.batch_patterns);
+  return 0;
+}

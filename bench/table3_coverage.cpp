@@ -146,10 +146,18 @@ int main(int argc, char** argv) {
       FullScanAtpgOptions o;
       o.podem_budget_seconds = quick ? 2.0 : (mc.slot == cs.m_cn ? 60.0 : 20.0);
       o.max_random_blocks = quick ? 8 : 48;
+      // PODEM/LOS candidates are graded in batches through FaultSim::run;
+      // shard the big CHECK_NODE fault list across grading workers (results
+      // are byte-identical at any thread count).
+      o.num_threads = mc.slot == cs.m_cn ? 4 : 1;
       const auto saf = runFullScanAtpg(scanned, view, su.faults, o);
       printRow("Full scan", "SAF", saf.total_faults, saf.coverage(),
                saf.test_cycles, saf.cpu_seconds, mc.scan.faults,
                mc.scan.saf_fc, mc.scan.cycles_saf);
+      std::printf("  %-10s       %zu PODEM calls, %zu aborted, %zu batch "
+                  "campaigns over %zu patterns\n",
+                  "", saf.podem_calls, saf.aborted, saf.batches,
+                  saf.patterns);
       const auto tdfr = runFullScanTransition(scanned, view, stdf, o);
       printRow("Full scan", "TDF", tdfr.total_faults, tdfr.coverage(),
                tdfr.test_cycles, tdfr.cpu_seconds, mc.scan.faults,

@@ -1,9 +1,14 @@
 #include "atpg/atpg.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <random>
+#include <stdexcept>
+#include <string>
 
 #include "atpg/podem.hpp"
+#include "fault/parallel_fsim.hpp"
 
 namespace corebist {
 
@@ -13,6 +18,19 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The batch-grading engine: the wide comb kernel itself, or a
+/// ParallelFaultSim sharding the fault list across it when the caller asked
+/// for threads. `holder` owns the threaded wrapper; the returned pointer is
+/// whichever engine the batches should run on.
+FaultSim* makeGrader(CombFaultSim& fsim, int num_threads,
+                     std::unique_ptr<FaultSim>& holder) {
+  if (num_threads <= 1) return &fsim;
+  ParallelFsimOptions popts;
+  popts.num_threads = num_threads;
+  holder = std::make_unique<ParallelFaultSim>(fsim, popts);
+  return holder.get();
 }
 
 PatternBlock randomBlock(std::mt19937_64& rng, std::size_t width) {
@@ -71,53 +89,80 @@ FullScanAtpgResult runFullScanAtpg(const Netlist& scanned,
     res.patterns += rr.patterns_applied;
   }
 
-  // Phase 2: PODEM on survivors under the CPU budget. Generated tests are
-  // collected into blocks and fault-simulated to drop collateral detections.
-  // The hand-packed confirmation blocks never exceed 64 patterns, so they
-  // run on the 64-lane kernel — the wide kernel would evaluate all-masked
-  // upper lane words for nothing.
-  CombFaultSimT<1> confirm_fsim(scanned, view.inputs, view.observed);
+  // Phase 2: PODEM on survivors under the CPU budget. Candidate tests
+  // accumulate into a VectorPatternSource batch (multi-block, so the wide
+  // kernel's full lane width is used); each full batch is graded over the
+  // entire surviving fault list through FaultSim::run, dropping collateral
+  // detections across the whole batch before the next target is chosen.
+  // Targets are not pre-marked detected: the batch campaign itself confirms
+  // every PODEM test, so the detected set is exactly what fault simulation
+  // proves.
   Podem podem(scanned, view.inputs, view.observed, opts.backtrack_limit);
-  PatternBlock pending;
-  pending.inputs.assign(view.inputs.size(), 0);
-  int pending_count = 0;
-  auto flushPending = [&] {
-    if (pending_count == 0) return;
-    pending.count = pending_count;
-    confirm_fsim.loadBlock(pending);
+  std::unique_ptr<FaultSim> threaded;
+  FaultSim* grader = makeGrader(fsim, opts.num_threads, threaded);
+  const int batch_cap = std::max(1, opts.batch_patterns);
+  VectorPatternSource batch(view.inputs.size());
+  std::vector<std::uint8_t> bits(view.inputs.size(), 0);
+  std::vector<char> gave_up(faults.size(), 0);
+  std::vector<Fault> live;
+  std::vector<std::size_t> live_idx;
+  auto flushBatch = [&] {
+    if (batch.patternCount() == 0) return;
+    live.clear();
+    live_idx.clear();
     for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (detected[i]) continue;
-      if (confirm_fsim.detect(faults[i]).any()) detected[i] = 1;
+      if (detected[i] == 0) {
+        live.push_back(faults[i]);
+        live_idx.push_back(i);
+      }
     }
-    res.patterns += static_cast<std::size_t>(pending_count);
-    pending_count = 0;
-    for (auto& w : pending.inputs) w = 0;
+    FaultSimOptions fopts;
+    fopts.cycles = batch.patternCount();
+    fopts.prepass_cycles = 0;
+    fopts.num_threads = 1;
+    const FaultSimResult rr = grader->run(live, batch, fopts);
+    for (std::size_t k = 0; k < live_idx.size(); ++k) {
+      if (rr.first_detect[k] >= 0) detected[live_idx[k]] = 1;
+    }
+    // Every kept candidate is part of the emitted test set, whether or not
+    // the kernel's internal dropping stopped simulating early.
+    res.patterns += static_cast<std::size_t>(batch.patternCount());
+    ++res.batches;
+    batch.clear();
   };
 
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (detected[i]) continue;
+    if (detected[i] != 0) continue;
     if (secondsSince(t0) > opts.podem_budget_seconds) {
-      ++res.aborted;
+      gave_up[i] = 1;
       continue;
     }
+    ++res.podem_calls;
     const auto test = podem.generate(faults[i]);
     if (!test.has_value()) {
-      ++res.aborted;
+      gave_up[i] = 1;
       continue;
     }
     for (std::size_t j = 0; j < test->size(); ++j) {
-      const bool bit = (*test)[j] == Tv::kX ? (rng() & 1u) != 0
-                                            : (*test)[j] == Tv::k1;
-      if (bit) pending.inputs[j] |= std::uint64_t{1} << pending_count;
+      bits[j] = (*test)[j] == Tv::kX
+                    ? static_cast<std::uint8_t>(rng() & 1u)
+                    : static_cast<std::uint8_t>((*test)[j] == Tv::k1 ? 1 : 0);
     }
-    detected[i] = 1;  // PODEM guarantees detection of the target
-    ++pending_count;
-    if (pending_count == 64) flushPending();
+    batch.append(bits);
+    if (batch.patternCount() >= batch_cap) flushBatch();
   }
-  flushPending();
+  flushBatch();
 
-  for (const char d : detected) {
-    if (d) ++res.detected;
+  // `aborted` is recomputed after the last flush: a fault whose own PODEM
+  // run gave up can still fall to a later candidate's collateral coverage,
+  // and counting it in both buckets used to let aborted + detected exceed
+  // total_faults.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (detected[i] != 0) {
+      ++res.detected;
+    } else if (gave_up[i] != 0) {
+      ++res.aborted;
+    }
   }
   res.test_cycles = view.testCycles(res.patterns);
   res.cpu_seconds = secondsSince(t0);
@@ -132,30 +177,94 @@ FullScanAtpgResult runFullScanTransition(const Netlist& scanned,
   FullScanAtpgResult res;
   res.total_faults = tdf_faults.size();
 
-  // LOS pair blocks are hand-built 64-pattern blocks: 64-lane kernel.
-  CombFaultSimT<1> fsim(scanned, view.inputs, view.observed);
+  CombFaultSim fsim(scanned, view.inputs, view.observed);
+  std::unique_ptr<FaultSim> threaded;
+  FaultSim* grader = makeGrader(fsim, opts.num_threads, threaded);
   std::vector<char> detected(tdf_faults.size(), 0);
   std::mt19937_64 rng(opts.seed ^ 0x7D0F0ull);
-  std::size_t live = tdf_faults.size();
+
+  // Random LOS pairs with fault dropping, batched: whole 64-pair blocks
+  // accumulate into launch/capture VectorPatternSources and each batch is
+  // one FaultSim::run pair campaign (FaultSimOptions::launch) over every
+  // surviving fault. The shift constraint on v2 is the structural reason
+  // TDF coverage trails stuck-at coverage here.
+  //
+  // The narrow driver's stall exit ("stop after random_stall_blocks * 2
+  // consecutive no-yield 64-pair blocks") is replayed from the batch's
+  // first_detect records: detections land on global pair indices, so the
+  // per-block yield sequence — and therefore the exit point and the pattern
+  // count — is byte-identical to the old block-at-a-time loop at any batch
+  // size and thread count. Detections past the replayed cut are discarded,
+  // exactly as if the campaign had stopped there.
+  VectorPatternSource launch_src(view.inputs.size());
+  VectorPatternSource capture_src(view.inputs.size());
+  const int blocks_per_batch =
+      std::max(1, (std::max(1, opts.batch_patterns) + 63) / 64);
+  const int total_blocks = opts.max_random_blocks * 2;
+  const int stall_limit = opts.random_stall_blocks * 2;
   int stall = 0;
-  // Random LOS pairs with fault dropping; the shift constraint on v2 is the
-  // structural reason TDF coverage trails stuck-at coverage here.
-  for (int blk = 0; blk < opts.max_random_blocks * 2 && live > 0; ++blk) {
-    const PatternBlock v1 = randomBlock(rng, view.inputs.size());
-    const PatternBlock v2 = losSuccessor(v1, view, rng);
-    fsim.loadPairBlock(v1, v2);
-    std::size_t newly = 0;
+  std::vector<Fault> live;
+  std::vector<std::size_t> live_idx;
+  std::vector<char> block_yield;
+  for (int blk = 0; blk < total_blocks;) {
+    live.clear();
+    live_idx.clear();
     for (std::size_t i = 0; i < tdf_faults.size(); ++i) {
-      if (detected[i]) continue;
-      if (fsim.detect(tdf_faults[i]).any()) {
-        detected[i] = 1;
-        ++newly;
-        --live;
+      if (detected[i] == 0) {
+        live.push_back(tdf_faults[i]);
+        live_idx.push_back(i);
       }
     }
-    res.patterns += 64;
-    stall = newly == 0 ? stall + 1 : 0;
-    if (stall >= opts.random_stall_blocks * 2) break;
+    if (live.empty()) break;
+
+    launch_src.clear();
+    capture_src.clear();
+    for (int b = 0; b < blocks_per_batch && blk < total_blocks; ++b, ++blk) {
+      const PatternBlock v1 = randomBlock(rng, view.inputs.size());
+      const PatternBlock v2 = losSuccessor(v1, view, rng);
+      launch_src.appendBlock(v1);
+      capture_src.appendBlock(v2);
+    }
+    FaultSimOptions fopts;
+    fopts.cycles = capture_src.patternCount();
+    fopts.prepass_cycles = 0;
+    fopts.num_threads = 1;
+    fopts.launch = &launch_src;
+    const FaultSimResult rr = grader->run(live, capture_src, fopts);
+    ++res.batches;
+
+    // Replay the per-64-pair-block stall/early-stop accounting.
+    const int nsub = capture_src.patternCount() / 64;
+    block_yield.assign(static_cast<std::size_t>(nsub), 0);
+    for (const std::int32_t fd : rr.first_detect) {
+      if (fd >= 0) block_yield[static_cast<std::size_t>(fd / 64)] = 1;
+    }
+    int cut_sub = nsub;
+    bool stall_exit = false;
+    for (int s = 0; s < nsub; ++s) {
+      stall = block_yield[static_cast<std::size_t>(s)] != 0 ? 0 : stall + 1;
+      if (stall >= stall_limit) {
+        cut_sub = s + 1;
+        stall_exit = true;
+        break;
+      }
+    }
+    int last_retire_sub = -1;
+    std::size_t accepted = 0;
+    for (std::size_t k = 0; k < live_idx.size(); ++k) {
+      const std::int32_t fd = rr.first_detect[k];
+      if (fd >= 0 && fd < 64 * cut_sub) {
+        detected[live_idx[k]] = 1;
+        ++accepted;
+        if (fd / 64 > last_retire_sub) last_retire_sub = fd / 64;
+      }
+    }
+    int applied_sub = cut_sub;
+    if (accepted == live_idx.size() && last_retire_sub + 1 < applied_sub) {
+      applied_sub = last_retire_sub + 1;  // the block that emptied the list
+    }
+    res.patterns += static_cast<std::size_t>(64 * applied_sub);
+    if (stall_exit) break;
   }
 
   for (const char d : detected) {
@@ -173,9 +282,20 @@ SeqAtpgResult runSequentialAtpg(const Netlist& module,
   SeqAtpgResult res;
   res.total_faults = faults.size();
 
+  const std::size_t n_inputs = module.primaryInputs().size();
+  // The candidate sequences below pack one cycle per 64-bit word (bit j
+  // drives PI j), the format SeqFaultSim::run(faults, words, opts)
+  // broadcasts. With more than 64 PIs the `1 << j` shift is undefined and
+  // would silently wrap on most hardware, aliasing input j onto j - 64.
+  if (n_inputs > 64) {
+    throw std::invalid_argument(
+        "runSequentialAtpg: module '" + module.name() + "' has " +
+        std::to_string(n_inputs) +
+        " primary inputs, but the one-word-per-cycle sequence format "
+        "carries at most 64; scan the module or split its input space");
+  }
   SeqFaultSim fsim(module);
   std::mt19937_64 rng(opts.seed);
-  const std::size_t n_inputs = module.primaryInputs().size();
 
   for (int cand = 0; cand < opts.candidates; ++cand) {
     // Weighted-random profile: each input gets an independent 1-probability

@@ -2,9 +2,17 @@
 //
 // Full scan: random-pattern bootstrap (PPSFP with fault dropping) followed
 // by PODEM on the survivors under a CPU budget; pattern counts convert to
-// tester clocks through the ScanView shift model. Transition faults use
-// launch-on-shift pairs (v2 is v1 shifted one position down each chain),
-// which is why full-scan TDF coverage trails its stuck-at coverage.
+// tester clocks through the ScanView shift model. Every candidate test is
+// graded through `FaultSim::run` — PODEM tests accumulate into multi-block
+// `VectorPatternSource` batches and each batch is simulated against the
+// *entire* surviving fault list (wide CombFaultSim serially,
+// ParallelFaultSim sharding when num_threads > 1), so collateral detections
+// drop across the whole batch before the next target fault is chosen.
+// Transition faults use launch-on-shift pairs (v2 is v1 shifted one
+// position down each chain) batched through the kernel's pair path
+// (FaultSimOptions::launch); the shift constraint on v2 is why full-scan
+// TDF coverage trails its stuck-at coverage. See src/atpg/README.md for the
+// batch-grading flow.
 //
 // Sequential: simulation-based search in the spirit of the authors' own
 // GATTO line — candidate weighted-random input sequences are fault-graded
@@ -31,14 +39,28 @@ struct FullScanAtpgOptions {
   double podem_budget_seconds = 30.0;
   int backtrack_limit = 24;
   std::uint64_t seed = 0x5EED;
+  /// Candidate tests per grading batch. PODEM tests (and LOS pair blocks,
+  /// rounded up to whole 64-pair blocks) accumulate until the batch is full,
+  /// then one FaultSim::run campaign grades it over every surviving fault.
+  /// 256 fills exactly one pass of the default 256-lane wide kernel.
+  int batch_patterns = 256;
+  /// Batch-grading worker threads; > 1 shards the surviving fault list
+  /// across a ParallelFaultSim. Results are byte-identical at any thread
+  /// count (the random bootstrap keeps its serial stall-exit semantics).
+  int num_threads = 1;
 };
 
 struct FullScanAtpgResult {
   std::size_t total_faults = 0;
   std::size_t detected = 0;
-  std::size_t aborted = 0;  // PODEM gave up within budget
+  /// Faults whose own PODEM run gave up (backtrack limit or CPU budget) AND
+  /// that no batch graded as a collateral detection: recomputed after the
+  /// final flush, so detected + aborted <= total_faults always holds.
+  std::size_t aborted = 0;
   std::size_t patterns = 0;
   std::size_t test_cycles = 0;
+  std::size_t podem_calls = 0;  // PODEM invocations (targets attempted)
+  std::size_t batches = 0;      // FaultSim::run grading campaigns flushed
   double cpu_seconds = 0.0;
   [[nodiscard]] double coverage() const {
     return total_faults == 0 ? 0.0
@@ -78,6 +100,9 @@ struct SeqAtpgResult {
 };
 
 /// Simulation-based sequential test generation on the unscanned module.
+/// SeqFaultSim's sequence format packs one cycle per 64-bit word (bit j
+/// drives PI j), so modules with more than 64 primary inputs are rejected
+/// with std::invalid_argument instead of silently wrapping the bit shift.
 [[nodiscard]] SeqAtpgResult runSequentialAtpg(const Netlist& module,
                                               std::span<const Fault> faults,
                                               const SeqAtpgOptions& opts = {});

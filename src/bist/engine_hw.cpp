@@ -157,10 +157,12 @@ Netlist buildBistedModule(const BistEngine& engine, int m) {
   nl.absorb(module, "u_");
   for (const PortBus& port : module.ports()) {
     if (!port.is_input) continue;
-    const PortBus* inner = nl.findPort("u_" + port.name);
+    // Copy the bits: registering the functional port below reallocates the
+    // port table and would leave a PortBus pointer dangling.
+    const Bus inner_bits = nl.findPort("u_" + port.name)->bits;
     const Bus functional = b.input("f_" + port.name,
                                    static_cast<int>(port.bits.size()));
-    for (std::size_t i = 0; i < inner->bits.size(); ++i) {
+    for (std::size_t i = 0; i < inner_bits.size(); ++i) {
       const InputSource& src =
           engine.inputMap(m)[pi_pos.at(port.bits[i])];
       NetId bist_bit = kNullNet;
@@ -170,7 +172,7 @@ Netlist buildBistedModule(const BistEngine& engine, int m) {
         bist_bit = cg_values[static_cast<std::size_t>(src.index)]
                             [static_cast<std::size_t>(src.bit)];
       }
-      nl.driveNet(inner->bits[i], b.mux(functional[i], bist_bit, test_enable));
+      nl.driveNet(inner_bits[i], b.mux(functional[i], bist_bit, test_enable));
     }
   }
 
@@ -178,9 +180,10 @@ Netlist buildBistedModule(const BistEngine& engine, int m) {
   std::vector<NetId> response;
   for (const PortBus& port : module.ports()) {
     if (port.is_input) continue;
-    const PortBus* inner = nl.findPort("u_" + port.name);
-    b.output(port.name, inner->bits);
-    response.insert(response.end(), inner->bits.begin(), inner->bits.end());
+    // Same dangling-pointer hazard as above: b.output registers a port.
+    const Bus inner_bits = nl.findPort("u_" + port.name)->bits;
+    b.output(port.name, inner_bits);
+    response.insert(response.end(), inner_bits.begin(), inner_bits.end());
   }
   const MisrHw misr = buildMisrHw(b, response, cfg.misr_width, te_run,
                                   bist_reset);

@@ -5,6 +5,40 @@
 
 namespace corebist {
 
+std::string jsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04X",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string_view coreVerdictName(CoreVerdict v) {
   switch (v) {
     case CoreVerdict::kPass:
@@ -85,9 +119,10 @@ namespace {
 void writeCore(std::ostringstream& os, const CoreReport& c,
                bool include_timing) {
   char buf[64];
-  os << "{\"core\": " << c.core_index << ", \"name\": \"" << c.core_name
-     << "\", \"tam\": " << c.tam << ", \"depth\": " << c.depth
-     << ", \"verdict\": \"" << coreVerdictName(c.verdict)
+  os << "{\"core\": " << c.core_index << ", \"name\": \""
+     << jsonEscaped(c.core_name) << "\", \"tam\": " << c.tam
+     << ", \"depth\": " << c.depth << ", \"verdict\": \""
+     << jsonEscaped(coreVerdictName(c.verdict))
      << "\", \"pass\": " << (c.pass() ? "true" : "false")
      << ", \"end_test_seen\": " << (c.end_test_seen ? "true" : "false")
      << ", \"patterns\": " << c.patterns << ", \"attempts\": " << c.attempts
@@ -122,7 +157,7 @@ void writeCore(std::ostringstream& os, const CoreReport& c,
 
 std::string writeReport(const SessionReport& r, bool include_timing) {
   std::ostringstream os;
-  os << "{\n  \"soc\": \"" << r.soc_name << "\",\n";
+  os << "{\n  \"soc\": \"" << jsonEscaped(r.soc_name) << "\",\n";
   os << "  \"pass\": " << (r.pass() ? "true" : "false") << ",\n";
   if (include_timing) {
     char buf[64];
@@ -135,8 +170,8 @@ std::string writeReport(const SessionReport& r, bool include_timing) {
   os << "  \"tams\": [\n";
   for (std::size_t t = 0; t < r.tams.size(); ++t) {
     const TamReport& tr = r.tams[t];
-    os << "    {\"tam\": " << tr.tam_index << ", \"name\": \"" << tr.name
-       << "\", \"cores\": [";
+    os << "    {\"tam\": " << tr.tam_index << ", \"name\": \""
+       << jsonEscaped(tr.name) << "\", \"cores\": [";
     for (std::size_t c = 0; c < tr.core_order.size(); ++c) {
       if (c != 0) os << ", ";
       os << tr.core_order[c];

@@ -38,6 +38,12 @@ enum class CoreVerdict : std::uint8_t {
 
 [[nodiscard]] std::string_view coreVerdictName(CoreVerdict v);
 
+/// JSON string-literal escaping, applied to every string field the report
+/// exporters emit: `"` and `\` get a backslash, control characters become
+/// \n/\t/\r/\uXXXX. Without it a core or TAM named `say "hi"\now` would
+/// serialize to invalid JSON (and could smuggle keys into the report).
+[[nodiscard]] std::string jsonEscaped(std::string_view s);
+
 /// Complete record of one core's campaign entry (all attempts).
 struct CoreReport {
   int core_index = -1;

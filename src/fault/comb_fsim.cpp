@@ -39,15 +39,27 @@ FaultSimResult CombFaultSimT<W>::run(std::span<const Fault> faults,
     throw std::invalid_argument(
         "CombFaultSim: observation points are fixed at construction");
   }
+  // Pair campaigns: opts.launch serves the v1 (launch) vectors, `patterns`
+  // the v2 (capture) vectors, and every block pair goes through
+  // loadPairBlock — the FaultSim::run spelling of the LOS pair path the
+  // transition ATPG used to drive by hand.
+  const PatternSource* launch = opts.launch;
   // Per-fault validation and forced-word polarity, hoisted out of the
   // per-block live loop: detect() re-derives them per call for the ad-hoc
   // ATPG entry points, but a campaign pays once per fault per run.
+  // (Transition forced words depend on each block's good values, so pair
+  // campaigns go through detect() instead.)
   std::vector<std::uint8_t> sa1(faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (!isStuckAt(faults[i].kind)) {
+    if (launch == nullptr && !isStuckAt(faults[i].kind)) {
       throw std::invalid_argument(
           "CombFaultSim::run: transition faults need launch/capture pairs "
-          "(loadPairBlock)");
+          "(set FaultSimOptions::launch)");
+    }
+    if (launch != nullptr && isStuckAt(faults[i].kind)) {
+      throw std::invalid_argument(
+          "CombFaultSim::run: pair campaigns grade transition faults; "
+          "stuck-at faults take the single-vector path");
     }
     sa1[i] = faults[i].kind == FaultKind::kSa1 ? 1 : 0;
   }
@@ -55,6 +67,12 @@ FaultSimResult CombFaultSimT<W>::run(std::span<const Fault> faults,
   if (total > patterns.patternCount()) {
     throw std::invalid_argument(
         "CombFaultSim: pattern source shorter than requested budget");
+  }
+  if (launch != nullptr && (launch->patternCount() < total ||
+                            launch->width() != patterns.width())) {
+    throw std::invalid_argument(
+        "CombFaultSim: launch source must match the capture source in "
+        "width and cover the pattern budget");
   }
 
   FaultSimResult res;
@@ -72,7 +90,14 @@ FaultSimResult CombFaultSimT<W>::run(std::span<const Fault> faults,
   std::iota(live.begin(), live.end(), 0u);
 
   PatternBlock block;
+  PatternBlock launch_block;
   std::vector<Word> det_buf;
+  // Pair mode re-derives the per-block forced word inside detect(); the
+  // stuck-at path keeps the hoisted polarity.
+  auto detectOne = [&](std::size_t idx) {
+    return launch != nullptr ? detect(faults[idx])
+                             : detectStuckAt(faults[idx], sa1[idx] != 0);
+  };
   // The stall exit stays in 64-pattern units at every lane width: the
   // narrow kernel's "consecutive no-yield 64-pattern blocks" counter is
   // replayed over the 64-lane sub-blocks of each wide pass, so the exit
@@ -83,7 +108,13 @@ FaultSimResult CombFaultSimT<W>::run(std::span<const Fault> faults,
   for (int start = 0; start < total && !live.empty(); start += kLanes) {
     patterns.fillWide(start, W, block);
     block.count = std::min(block.clampedCount(), total - start);
-    loadBlock(block);
+    if (launch != nullptr) {
+      launch->fillWide(start, W, launch_block);
+      launch_block.count = block.count;
+      loadPairBlock(launch_block, block);
+    } else {
+      loadBlock(block);
+    }
     const int lanes = block.count;
     const int nsub = (lanes + 63) / 64;
 
@@ -99,7 +130,7 @@ FaultSimResult CombFaultSimT<W>::run(std::span<const Fault> faults,
       std::array<char, static_cast<std::size_t>(W)> newly{};
       for (std::size_t k = 0; k < live.size(); ++k) {
         const std::uint32_t idx = live[k];
-        const Word det = detectStuckAt(faults[idx], sa1[idx] != 0);
+        const Word det = detectOne(idx);
         det_buf[k] = det;
         if (res.first_detect[idx] < 0 && det.any()) {
           newly[static_cast<std::size_t>(det.firstLane() / 64)] = 1;
@@ -124,10 +155,7 @@ FaultSimResult CombFaultSimT<W>::run(std::span<const Fault> faults,
     std::size_t out = 0;
     for (std::size_t k = 0; k < live.size(); ++k) {
       const std::uint32_t idx = live[k];
-      const Word det =
-          (stalling ? det_buf[k]
-                    : detectStuckAt(faults[idx], sa1[idx] != 0)) &
-          cut_mask;
+      const Word det = (stalling ? det_buf[k] : detectOne(idx)) & cut_mask;
       bool retire = false;
       int retire_lane = 0;
       if (det.any()) {

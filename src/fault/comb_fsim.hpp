@@ -43,11 +43,12 @@ class CombFaultSimT final : public FaultSim {
   CombFaultSimT(const Netlist& nl, std::span<const NetId> inputs,
                 std::span<const NetId> observed);
 
-  /// Campaign entry point (FaultSim): grade stuck-at `faults` against the
-  /// pattern stream, with fault dropping, stall exit, per-window masks and
-  /// first-K dictionary records. Transition faults need launch/capture
-  /// pairs (loadPairBlock) and are rejected here; MISR compaction is a
-  /// sequential-engine feature and is rejected too.
+  /// Campaign entry point (FaultSim): grade `faults` against the pattern
+  /// stream, with fault dropping, stall exit, per-window masks and first-K
+  /// dictionary records. Stuck-at campaigns use `patterns` alone; transition
+  /// campaigns additionally set `opts.launch` (the v1 stream) and every
+  /// block pair is applied through loadPairBlock with detection evaluated
+  /// on v2. MISR compaction is a sequential-engine feature and is rejected.
   [[nodiscard]] FaultSimResult run(std::span<const Fault> faults,
                                    const PatternSource& patterns,
                                    const FaultSimOptions& opts) override;

@@ -75,6 +75,46 @@ void CyclePatternSource::fill(int start, PatternBlock& out) const {
   }
 }
 
+void VectorPatternSource::append(std::span<const std::uint8_t> bits) {
+  assert(bits.size() == width_ && "VectorPatternSource: pattern width mismatch");
+  const int lane = count_ % 64;
+  if (lane == 0) blocks_.emplace_back(width_, 0);
+  auto& col = blocks_.back();
+  for (std::size_t j = 0; j < width_; ++j) {
+    if (bits[j] != 0) col[j] |= std::uint64_t{1} << lane;
+  }
+  ++count_;
+}
+
+void VectorPatternSource::appendBlock(const PatternBlock& block) {
+  assert(count_ % 64 == 0 &&
+         "VectorPatternSource: appendBlock on an unaligned source");
+  assert(block.clampedWords() == 1 && block.inputs.size() == width_ &&
+         "VectorPatternSource: appendBlock expects a narrow width-matched "
+         "block");
+  const int n = block.clampedCount();
+  auto& col = blocks_.emplace_back(block.inputs.begin(), block.inputs.end());
+  // Mask lanes past the block's count so a partial hand-built block can
+  // never leak stale bits into the campaign.
+  const std::uint64_t mask = block.laneMask();
+  for (auto& w : col) w &= mask;
+  count_ += n;
+}
+
+void VectorPatternSource::fill(int start, PatternBlock& out) const {
+  assert(start % 64 == 0 && "VectorPatternSource: unaligned fill");
+  const int n = std::min<int>(64, count_ - start);
+  assert(n >= 1 && "VectorPatternSource: fill past end of pattern source");
+  out.words_per_input = 1;
+  out.count = std::max(n, 1);
+  const auto& col = blocks_[static_cast<std::size_t>(start / 64)];
+  out.inputs.assign(col.begin(), col.end());
+  if (n < 64 && n >= 1) {
+    const std::uint64_t mask = out.laneMask();
+    for (auto& w : out.inputs) w &= mask;
+  }
+}
+
 void RandomPatternSource::fill(int start, PatternBlock& out) const {
   const int n = std::min<int>(64, patternCount() - start);
   assert(n >= 1 && "RandomPatternSource: fill past end of pattern source");

@@ -95,6 +95,8 @@ struct MisrSpec {
   std::vector<std::vector<NetId>> feeds;
 };
 
+class PatternSource;
+
 struct FaultSimOptions {
   /// Pattern budget of the campaign; <= 0 means "whole pattern source".
   /// Sequential engines apply one pattern per clock, so this is also the
@@ -120,6 +122,13 @@ struct FaultSimOptions {
   /// engines only — orchestrators strip it so shard-local stalls can never
   /// change the detected set).
   int stall_blocks = 0;
+  /// Launch (v1) stimulus for transition-delay campaigns: when set,
+  /// `patterns` serves the capture (v2) vectors, every block pair is applied
+  /// through the pair-block path (detection evaluated on v2) and the fault
+  /// list must be transition faults. Combinational engines only; must match
+  /// `patterns` in width and pattern count. Not owned; the caller keeps the
+  /// source alive for the duration of run().
+  const PatternSource* launch = nullptr;
 };
 
 struct FaultSimResult {
@@ -228,6 +237,47 @@ class CyclePatternSource final : public PatternSource {
   std::size_t width_;
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<int, std::vector<std::uint64_t>> cache_;
+};
+
+/// Hand-assembled patterns as a first-class campaign stimulus: an
+/// append-only accumulator that serves standard 64-lane blocks, so
+/// deterministic tests (PODEM candidates, LOS pair batches, debug vectors)
+/// grade through the same `FaultSim::run` campaigns — fault dropping, wide
+/// lanes, ParallelFaultSim sharding — as recorded or random stimulus,
+/// instead of hand-rolled per-fault detect() loops.
+///
+/// Patterns are stored column-major (one 64-lane word column per input per
+/// block), i.e. already in PPSFP layout: fill() is a copy, not a transpose.
+/// Thread-safe for concurrent fills once building stops; append/clear must
+/// not race with a running campaign (the ATPG batch loops alternate
+/// build -> grade -> clear).
+class VectorPatternSource final : public PatternSource {
+ public:
+  explicit VectorPatternSource(std::size_t width) : width_(width) {}
+
+  /// Append one pattern; `bits[j]` (0/1) drives input j. bits.size() must
+  /// equal width().
+  void append(std::span<const std::uint8_t> bits);
+  /// Append a whole narrow block (words_per_input == 1, block.count
+  /// patterns). The source must be 64-aligned (patternCount() % 64 == 0):
+  /// the ATPG pair loops only ever append full hand-built blocks.
+  void appendBlock(const PatternBlock& block);
+  /// Drop all patterns (the accumulator is reused batch after batch).
+  void clear() {
+    blocks_.clear();
+    count_ = 0;
+  }
+
+  [[nodiscard]] int patternCount() const override { return count_; }
+  [[nodiscard]] std::size_t width() const override { return width_; }
+  void fill(int start, PatternBlock& out) const override;
+
+ private:
+  std::size_t width_;
+  int count_ = 0;
+  /// One column-major 64-lane block per entry: blocks_[b][j] holds lanes
+  /// [64b, 64b+64) of input j.
+  std::vector<std::vector<std::uint64_t>> blocks_;
 };
 
 /// Uniform-random patterns of arbitrary width (full-scan random phases,

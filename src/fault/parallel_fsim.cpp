@@ -69,10 +69,11 @@ FaultSimResult ParallelFaultSim::run(std::span<const Fault> faults,
   const std::size_t shard = static_cast<std::size_t>(popts_.shard_faults);
   const int sig_words = result.sig_words_per_fault;
 
-  // One engine clone per worker for the whole run; every run() call resets
-  // per-campaign state, so stages can reuse them.
-  std::vector<std::unique_ptr<FaultSim>> engines(
-      static_cast<std::size_t>(nthreads));
+  // One engine clone per worker, kept across stages AND across run() calls
+  // (engines_ member); every engine run() resets per-campaign state.
+  if (engines_.size() < static_cast<std::size_t>(nthreads)) {
+    engines_.resize(static_cast<std::size_t>(nthreads));
+  }
 
   for (const int stage_cycles : stages) {
     if (live.empty()) break;
@@ -80,7 +81,7 @@ FaultSimResult ParallelFaultSim::run(std::span<const Fault> faults,
     std::atomic<std::size_t> next{0};
 
     auto worker = [&](int tid) {
-      auto& engine = engines[static_cast<std::size_t>(tid)];
+      auto& engine = engines_[static_cast<std::size_t>(tid)];
       if (engine == nullptr) engine = proto_->clone();
       FaultSimOptions wopts = opts;
       wopts.cycles = stage_cycles;

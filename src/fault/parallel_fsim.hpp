@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "fault/fault_sim.hpp"
 
@@ -47,6 +48,13 @@ class ParallelFaultSim final : public FaultSim {
  private:
   std::unique_ptr<FaultSim> proto_;
   ParallelFsimOptions popts_;
+  /// Worker engine clones, reused across run() calls: batched consumers
+  /// (the ATPG drivers) call run once per batch, and a fresh clone pays a
+  /// full netlist levelization plus per-net scratch allocation. Engines
+  /// reset all per-campaign state at the top of their own run(). One
+  /// consequence: run() is not re-entrant on the same object — use clone()
+  /// per thread, as every orchestrator already does.
+  std::vector<std::unique_ptr<FaultSim>> engines_;
 };
 
 }  // namespace corebist

@@ -412,6 +412,12 @@ SeqFsimResult SeqFaultSim::run(std::span<const Fault> faults,
 FaultSimResult SeqFaultSim::run(std::span<const Fault> faults,
                                 const PatternSource& patterns,
                                 const FaultSimOptions& opts) {
+  if (opts.launch != nullptr) {
+    throw std::invalid_argument(
+        "SeqFaultSim: launch/capture pair campaigns are a combinational "
+        "(full-scan) notion; sequential stimulus launches transitions "
+        "between consecutive cycles");
+  }
   FaultSimOptions o = opts;
   o.cycles = opts.cycles > 0 ? opts.cycles : patterns.patternCount();
   o.stall_blocks = 0;  // stall exits are a combinational-campaign notion

@@ -140,21 +140,23 @@ Netlist buildBoundaryWrappedModule(const Netlist& module) {
     if (port.is_input ? !allIn(pi_set, port.bits) : !allIn(po_set, port.bits)) {
       continue;
     }
-    const PortBus* inner = nl.findPort("u_" + port.name);
+    // Copy the bits: registering the pad/outward port reallocates the port
+    // table and would leave a PortBus pointer dangling.
+    const Bus inner_bits = nl.findPort("u_" + port.name)->bits;
     if (port.is_input) {
       const Bus pad = b.input(port.name, static_cast<int>(port.bits.size()));
-      for (std::size_t i = 0; i < inner->bits.size(); ++i) {
+      for (std::size_t i = 0; i < inner_bits.size(); ++i) {
         // The update latch is modelled as a register to keep realistic load.
         const NetId upd = nl.addDff();
         nl.connectDff(upd, upd);
-        nl.driveNet(inner->bits[i], b.mux(pad[i], upd, test_mode));
+        nl.driveNet(inner_bits[i], b.mux(pad[i], upd, test_mode));
       }
     } else {
       Bus outward;
-      for (std::size_t i = 0; i < inner->bits.size(); ++i) {
+      for (std::size_t i = 0; i < inner_bits.size(); ++i) {
         const NetId upd = nl.addDff();
         nl.connectDff(upd, upd);
-        outward.push_back(b.mux(inner->bits[i], upd, test_mode));
+        outward.push_back(b.mux(inner_bits[i], upd, test_mode));
       }
       b.output(port.name, outward);
     }

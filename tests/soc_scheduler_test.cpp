@@ -3,9 +3,11 @@
 // and the legacy SocTestSession shim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/scheduler.hpp"
@@ -200,6 +202,43 @@ TEST(SocScheduler, JsonExportCarriesTheCampaignStructure) {
   EXPECT_EQ(fp.find("\"wall_seconds\""), std::string::npos);
   EXPECT_EQ(fp.find("\"seconds\""), std::string::npos);
   EXPECT_EQ(fp.find("\"threads\""), std::string::npos);
+}
+
+TEST(SocScheduler, JsonEscapesQuotesAndControlCharsInNames) {
+  // Core/TAM/SoC names flow into the JSON export verbatim; a name with `"`
+  // or `\` used to produce invalid JSON. Every string field goes through
+  // jsonEscaped() now.
+  SessionReport report;
+  report.soc_name = "soc \"A\"\\path";
+  CoreReport core;
+  core.core_index = 0;
+  core.core_name = "dsp\n\"core\"\ttab\x01";
+  report.cores.push_back(core);
+  TamReport tam;
+  tam.tam_index = 0;
+  tam.name = "tam\\0 \"fast\"";
+  report.tams.push_back(tam);
+
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"soc \\\"A\\\"\\\\path\""), std::string::npos);
+  EXPECT_NE(json.find("dsp\\n\\\"core\\\"\\ttab\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("tam\\\\0 \\\"fast\\\""), std::string::npos);
+  // No raw control character survives into the output: the core name's
+  // newline/tab/0x01 are all escaped in place.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  const std::size_t dsp = json.find("dsp");
+  ASSERT_NE(dsp, std::string::npos);
+  EXPECT_EQ(json.substr(dsp, 30).find('\n'), std::string::npos);
+  EXPECT_EQ(json.substr(dsp, 30).find('\t'), std::string::npos);
+  // Round-trip smoke: balanced braces/brackets (a cheap well-formedness
+  // proxy that the unescaped output failed).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  EXPECT_EQ(jsonEscaped("plain_name-42"), "plain_name-42");
+  EXPECT_EQ(jsonEscaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscaped(std::string_view("\r\x1f", 2)), "\\r\\u001F");
 }
 
 TEST(SocScheduler, InvalidPlansAreRejectedUpFront) {
