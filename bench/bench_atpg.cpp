@@ -137,6 +137,7 @@ int main(int argc, char** argv) {
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
+  std::fprintf(f, "  \"lane_backend\": \"%s\",\n", kLaneBackend);
   std::fprintf(f, "  \"batch_patterns\": %d,\n", base.batch_patterns);
   std::fprintf(f, "  \"thread_sweep_identical\": %s,\n",
                thread_sweep_identical ? "true" : "false");

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "case_study.hpp"
+#include "fault/backend.hpp"
 #include "fault/comb_fsim.hpp"
 #include "fault/fault.hpp"
+#include "fault/lane.hpp"
 #include "fault/parallel_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "scan/scan.hpp"
@@ -109,8 +111,12 @@ int main(int argc, char** argv) {
       printRow(rows.back());
     }
 
-    // Wide-lane sweep on the full-scan comb view of the same module: the
-    // same stuck-at grading the ATPG bootstrap and dictionary flows run.
+    // Backend x lane-width cross on the full-scan comb view of the same
+    // module: the same stuck-at grading the ATPG bootstrap and dictionary
+    // flows run, on every execution backend (serial engine, thread-sharded
+    // ParallelFaultSim, fork-sharded ProcessFaultSim) at every linked lane
+    // width. Every cell is checked byte-identical to the serial 64-lane
+    // reference before being reported — a diverging cell fails the bench.
     const Netlist scanned = buildScannedModule(nl, sl.chains);
     const ScanView view = makeScanView(scanned, sl.chains);
     const FaultUniverse su = enumerateStuckAt(scanned);
@@ -125,36 +131,42 @@ int main(int argc, char** argv) {
     // diagnosis flows run the comb kernel full-length exactly like this.)
     co.drop_detected = false;
     std::printf("%s: %zu faults, %d patterns (full-scan comb view, "
-                "lane sweep)\n",
+                "backend x lane sweep)\n",
                 scanned.name().c_str(), su.faults.size(), comb_cycles);
     FaultSimResult ref;
-    auto sweepOne = [&](auto width_tag) {
-      constexpr int W = decltype(width_tag)::value;
-      CombFaultSimT<W> fsim(scanned, view.inputs, view.observed);
-      FaultSimResult r;
-      const Timing t = timeRepeats(
-          repeats, [&] { r = fsim.run(su.faults, comb_patterns, co); });
-      if (W == 1) {
-        ref = r;
-      } else if (r.first_detect != ref.first_detect ||
-                 r.patterns_applied != ref.patterns_applied) {
-        std::fprintf(stderr,
-                     "FATAL: %d-lane kernel diverged from the 64-lane "
-                     "reference on %s\n",
-                     64 * W, scanned.name().c_str());
-        wide_identical = false;
+    for (const FsimBackend backend :
+         {FsimBackend::kSerial, FsimBackend::kThreaded,
+          FsimBackend::kProcess}) {
+      for (const int lane_words : {1, 2, 4, 8}) {
+        FsimBackendOptions bopts;
+        bopts.backend = backend;
+        bopts.lane_words = lane_words;
+        bopts.num_workers = 2;
+        const auto fsim =
+            makeCombFaultSim(scanned, view.inputs, view.observed, bopts);
+        FaultSimResult r;
+        const Timing t = timeRepeats(
+            repeats, [&] { r = fsim->run(su.faults, comb_patterns, co); });
+        const bool is_ref =
+            backend == FsimBackend::kSerial && lane_words == 1;
+        if (is_ref) {
+          ref = r;
+        } else if (r.first_detect != ref.first_detect ||
+                   r.detected != ref.detected ||
+                   r.patterns_applied != ref.patterns_applied) {
+          std::fprintf(stderr,
+                       "FATAL: %s backend at %d lanes diverged from the "
+                       "serial 64-lane reference on %s\n",
+                       fsimBackendName(backend), 64 * lane_words,
+                       scanned.name().c_str());
+          wide_identical = false;
+        }
+        const int workers = backend == FsimBackend::kSerial ? 1 : 2;
+        rows.push_back({std::string("comb-") + fsimBackendName(backend),
+                        workers, lane_words, t, su.faults.size(), comb_cycles,
+                        r.detected});
+        printRow(rows.back());
       }
-      rows.push_back({"comb-wide", 1, W, t, su.faults.size(), comb_cycles,
-                      r.detected});
-      printRow(rows.back());
-    };
-    sweepOne(std::integral_constant<int, 1>{});
-    sweepOne(std::integral_constant<int, 2>{});
-    sweepOne(std::integral_constant<int, 4>{});
-    if constexpr (kLaneWords != 1 && kLaneWords != 2 && kLaneWords != 4) {
-      // Non-default builds: keep the aggregate speedup (lane_words ==
-      // kLaneWords below) meaningful.
-      sweepOne(std::integral_constant<int, kLaneWords>{});
     }
   }
   if (!wide_identical) return 1;
@@ -169,8 +181,10 @@ int main(int argc, char** argv) {
     if (r.engine == "seq-parallel" && r.threads == 4) {
       seq_par4_s += r.t.median;
     }
-    if (r.engine == "comb-wide" && r.lane_words == 1) comb_w1_s += r.t.median;
-    if (r.engine == "comb-wide" && r.lane_words == kLaneWords) {
+    if (r.engine == "comb-serial" && r.lane_words == 1) {
+      comb_w1_s += r.t.median;
+    }
+    if (r.engine == "comb-serial" && r.lane_words == kLaneWords) {
       comb_wide_s += r.t.median;
     }
   }
@@ -190,6 +204,7 @@ int main(int argc, char** argv) {
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
+  std::fprintf(f, "  \"lane_backend\": \"%s\",\n", kLaneBackend);
   std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
   std::fprintf(f, "  \"wide_speedup_vs_64lane\": %.3f,\n", wide_speedup);
   std::fprintf(f, "  \"results\": [\n");

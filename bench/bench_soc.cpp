@@ -20,6 +20,7 @@
 
 #include "case_study.hpp"
 #include "core/scheduler.hpp"
+#include "fault/lane.hpp"
 #include "core/soc.hpp"
 #include "netlist/builder.hpp"
 
@@ -205,6 +206,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
+  std::fprintf(f, "  \"lane_backend\": \"%s\",\n", kLaneBackend);
   std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -8,7 +8,7 @@
 #include <string>
 
 #include "atpg/podem.hpp"
-#include "fault/parallel_fsim.hpp"
+#include "fault/backend.hpp"
 
 namespace corebist {
 
@@ -20,16 +20,19 @@ double secondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// The batch-grading engine: the wide comb kernel itself, or a
-/// ParallelFaultSim sharding the fault list across it when the caller asked
-/// for threads. `holder` owns the threaded wrapper; the returned pointer is
-/// whichever engine the batches should run on.
-FaultSim* makeGrader(CombFaultSim& fsim, int num_threads,
+/// The batch-grading engine: the wide comb kernel itself, or the requested
+/// orchestrator (threaded or multi-process) sharding the fault list across
+/// it when the caller asked for workers. `holder` owns the wrapper; the
+/// returned pointer is whichever engine the batches should run on.
+FaultSim* makeGrader(CombFaultSim& fsim, const FullScanAtpgOptions& opts,
                      std::unique_ptr<FaultSim>& holder) {
-  if (num_threads <= 1) return &fsim;
-  ParallelFsimOptions popts;
-  popts.num_threads = num_threads;
-  holder = std::make_unique<ParallelFaultSim>(fsim, popts);
+  if (opts.num_threads <= 1 || opts.grading_backend == FsimBackend::kSerial) {
+    return &fsim;
+  }
+  FsimBackendOptions bopts;
+  bopts.backend = opts.grading_backend;
+  bopts.num_workers = opts.num_threads;
+  holder = makeOrchestrator(fsim, bopts);
   return holder.get();
 }
 
@@ -99,7 +102,7 @@ FullScanAtpgResult runFullScanAtpg(const Netlist& scanned,
   // proves.
   Podem podem(scanned, view.inputs, view.observed, opts.backtrack_limit);
   std::unique_ptr<FaultSim> threaded;
-  FaultSim* grader = makeGrader(fsim, opts.num_threads, threaded);
+  FaultSim* grader = makeGrader(fsim, opts, threaded);
   const int batch_cap = std::max(1, opts.batch_patterns);
   VectorPatternSource batch(view.inputs.size());
   std::vector<std::uint8_t> bits(view.inputs.size(), 0);
@@ -179,7 +182,7 @@ FullScanAtpgResult runFullScanTransition(const Netlist& scanned,
 
   CombFaultSim fsim(scanned, view.inputs, view.observed);
   std::unique_ptr<FaultSim> threaded;
-  FaultSim* grader = makeGrader(fsim, opts.num_threads, threaded);
+  FaultSim* grader = makeGrader(fsim, opts, threaded);
   std::vector<char> detected(tdf_faults.size(), 0);
   std::mt19937_64 rng(opts.seed ^ 0x7D0F0ull);
 

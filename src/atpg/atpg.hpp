@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/backend.hpp"
 #include "fault/comb_fsim.hpp"
 #include "fault/fault.hpp"
 #include "fault/seq_fsim.hpp"
@@ -44,10 +45,16 @@ struct FullScanAtpgOptions {
   /// then one FaultSim::run campaign grades it over every surviving fault.
   /// 256 fills exactly one pass of the default 256-lane wide kernel.
   int batch_patterns = 256;
-  /// Batch-grading worker threads; > 1 shards the surviving fault list
-  /// across a ParallelFaultSim. Results are byte-identical at any thread
-  /// count (the random bootstrap keeps its serial stall-exit semantics).
+  /// Batch-grading workers; > 1 shards the surviving fault list across the
+  /// orchestrator picked by `grading_backend`. Results are byte-identical
+  /// at any worker count and on any backend (the random bootstrap keeps its
+  /// serial stall-exit semantics).
   int num_threads = 1;
+  /// Orchestrator for batch grading when num_threads > 1: kThreaded shards
+  /// across worker threads (the historical behavior), kProcess across
+  /// forked worker processes, kSerial ignores num_threads and grades on the
+  /// wide kernel directly.
+  FsimBackend grading_backend = FsimBackend::kThreaded;
 };
 
 struct FullScanAtpgResult {

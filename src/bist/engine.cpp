@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
-#include "fault/parallel_fsim.hpp"
+#include "fault/backend.hpp"
 #include "fault/seq_fsim.hpp"
 
 namespace corebist {
@@ -137,18 +137,20 @@ std::uint64_t BistEngine::runAndSign(int m, const Netlist& physical,
 
 FaultSimResult BistEngine::signatureCoverage(int m,
                                              std::span<const Fault> faults,
-                                             int cycles,
-                                             int num_threads) const {
+                                             int cycles, int num_threads,
+                                             FsimBackend backend) const {
   const Hookup& h = modules_.at(static_cast<std::size_t>(m));
   const auto stim = stimulus(m, cycles);
-  ParallelFsimOptions popts;
-  popts.num_threads = num_threads;
-  ParallelFaultSim fsim(SeqFaultSim(*h.nl), popts);
+  FsimBackendOptions bopts;
+  bopts.backend = backend;
+  bopts.num_workers = num_threads;
+  const std::unique_ptr<FaultSim> fsim =
+      makeOrchestrator(SeqFaultSim(*h.nl), bopts);
   const CyclePatternSource patterns(stim, h.nl->primaryInputs().size());
   FaultSimOptions opts;
   opts.cycles = cycles;
   opts.misr = misrSpec(m);
-  return fsim.run(faults, patterns, opts);
+  return fsim->run(faults, patterns, opts);
 }
 
 Netlist withGateDefect(const Netlist& nl, GateId gate, GateType new_type) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bist/constraint_gen.hpp"
+#include "fault/backend.hpp"
 #include "bist/control_unit.hpp"
 #include "bist/lfsr.hpp"
 #include "bist/misr.hpp"
@@ -108,13 +109,15 @@ class BistEngine {
 
   /// Signature-qualification coverage of module `m`: fault-simulates
   /// `faults` under the BIST stimulus with the module's MISR compaction
-  /// model attached, on `num_threads` workers (0 => hardware concurrency).
-  /// `misr_detect` tells which faults the signature actually catches (the
-  /// coverage minus aliasing losses).
-  [[nodiscard]] FaultSimResult signatureCoverage(int m,
-                                                 std::span<const Fault> faults,
-                                                 int cycles,
-                                                 int num_threads = 0) const;
+  /// model attached, on `num_threads` workers (0 => hardware concurrency)
+  /// of the requested backend (worker threads by default; kProcess shards
+  /// the faults across forked worker processes, kSerial grades on one
+  /// sequential engine and ignores num_threads). `misr_detect` tells which
+  /// faults the signature actually catches (the coverage minus aliasing
+  /// losses).
+  [[nodiscard]] FaultSimResult signatureCoverage(
+      int m, std::span<const Fault> faults, int cycles, int num_threads = 0,
+      FsimBackend backend = FsimBackend::kThreaded) const;
 
  private:
   struct Hookup {

@@ -37,6 +37,8 @@ CorePlan resolveEntry(const TestPlan& plan, const CorePlan& entry, Soc& soc) {
   if (r.poll_idle <= 0) r.poll_idle = plan.poll_idle;
   if (r.max_retries < 0) r.max_retries = plan.max_retries;
   if (r.coverage_target < 0.0) r.coverage_target = plan.coverage_target;
+  if (!r.coverage_backend.has_value()) r.coverage_backend = plan.coverage_backend;
+  if (r.coverage_workers <= 0) r.coverage_workers = plan.coverage_workers;
   if (r.warmup_idle < 0) r.warmup_idle = r.patterns + 4;
   const int max_patterns =
       soc.core(r.core_index).controlUnit().maxPatterns();

@@ -116,9 +116,13 @@ void SessionChannel::measureCoverage(const WrappedCore& core,
   report.coverage_target = p.coverage_target;
   for (int m = 0; m < core.moduleCount(); ++m) {
     const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
-    // One fsim worker: the channel itself is the unit of parallelism.
-    const FaultSimResult r =
-        core.engine().signatureCoverage(m, u.faults, p.patterns, 1);
+    // Backend and worker count come from the resolved plan entry; the plan
+    // default is one serial worker — the channel itself is the unit of
+    // parallelism — but big-module plans can opt into the threaded or
+    // multi-process orchestrators per core.
+    const FaultSimResult r = core.engine().signatureCoverage(
+        m, u.faults, p.patterns, p.coverage_workers,
+        p.coverage_backend.value_or(FsimBackend::kSerial));
     const double coverage = r.misrCoverage();
     report.modules[static_cast<std::size_t>(m)].coverage = coverage;
     if (coverage < p.coverage_target) report.coverage_met = false;

@@ -14,7 +14,10 @@
 #ifndef COREBIST_CORE_TEST_PLAN_HPP_
 #define COREBIST_CORE_TEST_PLAN_HPP_
 
+#include <optional>
 #include <vector>
+
+#include "fault/backend.hpp"
 
 namespace corebist {
 
@@ -42,6 +45,11 @@ struct CorePlan {
   /// assigning a core to a TAM that does not serve it is rejected at
   /// resolve time.
   int tam = -1;
+  /// Fault-sim backend for this core's coverage measurement (only used when
+  /// the resolved coverage_target > 0). Unset inherits the plan default.
+  std::optional<FsimBackend> coverage_backend;
+  /// Orchestrator workers for coverage measurement; <= 0 => plan default.
+  int coverage_workers = 0;
 };
 
 /// Cap on concurrent session channels for one TAM.
@@ -71,6 +79,16 @@ struct TestPlan {
   /// num_threads and the available work).
   int channels_per_tam = 0;
 
+  /// Fault-sim backend for coverage measurement. kSerial by default: the
+  /// session channel is the unit of parallelism in this layer, and coverage
+  /// probes run on scheduler worker threads, where forking a process fleet
+  /// per module (kProcess) or nesting a thread pool (kThreaded) only pays
+  /// off for big modules — opt in per plan or per core when it does.
+  FsimBackend coverage_backend = FsimBackend::kSerial;
+  /// Orchestrator workers for coverage measurement (kThreaded / kProcess);
+  /// 0 => one per hardware thread.
+  int coverage_workers = 1;
+
   /// Per-TAM overrides of channels_per_tam.
   std::vector<TamChannelLimit> tam_channels;
 
@@ -93,6 +111,11 @@ struct TestPlan {
   }
   TestPlan& withCoverageTarget(double percent) {
     coverage_target = percent;
+    return *this;
+  }
+  TestPlan& withCoverageBackend(FsimBackend backend, int workers = 1) {
+    coverage_backend = backend;
+    coverage_workers = workers;
     return *this;
   }
   TestPlan& withThreads(int threads) {

@@ -1,0 +1,79 @@
+#include "fault/backend.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "fault/comb_fsim.hpp"
+#include "fault/parallel_fsim.hpp"
+#include "fault/process_fsim.hpp"
+
+namespace corebist {
+
+const char* fsimBackendName(FsimBackend b) noexcept {
+  switch (b) {
+    case FsimBackend::kSerial:
+      return "serial";
+    case FsimBackend::kThreaded:
+      return "threaded";
+    case FsimBackend::kProcess:
+      return "process";
+  }
+  return "serial";
+}
+
+FsimBackend parseFsimBackend(std::string_view name) {
+  if (name == "serial") return FsimBackend::kSerial;
+  if (name == "threaded") return FsimBackend::kThreaded;
+  if (name == "process") return FsimBackend::kProcess;
+  throw std::invalid_argument("unknown fsim backend: " + std::string(name));
+}
+
+std::unique_ptr<FaultSim> makeOrchestrator(const FaultSim& prototype,
+                                           const FsimBackendOptions& opts) {
+  switch (opts.backend) {
+    case FsimBackend::kSerial:
+      return prototype.clone();
+    case FsimBackend::kThreaded: {
+      ParallelFsimOptions p;
+      p.num_threads = opts.num_workers;
+      p.shard_faults = opts.shard_faults;
+      return std::make_unique<ParallelFaultSim>(prototype, p);
+    }
+    case FsimBackend::kProcess: {
+      ProcessFsimOptions p;
+      p.num_workers = opts.num_workers;
+      p.shard_faults = opts.shard_faults;
+      p.timeout_ms = opts.timeout_ms;
+      return std::make_unique<ProcessFaultSim>(prototype, p);
+    }
+  }
+  return prototype.clone();
+}
+
+std::unique_ptr<FaultSim> makeCombFaultSim(const Netlist& nl,
+                                           std::span<const NetId> inputs,
+                                           std::span<const NetId> observed,
+                                           const FsimBackendOptions& opts) {
+  std::unique_ptr<FaultSim> engine;
+  switch (opts.lane_words == 0 ? kLaneWords : opts.lane_words) {
+    case 1:
+      engine = std::make_unique<CombFaultSimT<1>>(nl, inputs, observed);
+      break;
+    case 2:
+      engine = std::make_unique<CombFaultSimT<2>>(nl, inputs, observed);
+      break;
+    case 4:
+      engine = std::make_unique<CombFaultSimT<4>>(nl, inputs, observed);
+      break;
+    case 8:
+      engine = std::make_unique<CombFaultSimT<8>>(nl, inputs, observed);
+      break;
+    default:
+      throw std::invalid_argument(
+          "makeCombFaultSim: lane_words must be 0, 1, 2, 4 or 8");
+  }
+  if (opts.backend == FsimBackend::kSerial) return engine;
+  return makeOrchestrator(*engine, opts);
+}
+
+}  // namespace corebist

@@ -1,0 +1,70 @@
+// Backend selection for fault-simulation campaigns.
+//
+// One enum + factory pair behind which every fault-sim consumer (ATPG batch
+// grading, the SoC scheduler's coverage probes, the benches) picks its
+// execution backend per campaign instead of hard-coding an engine class:
+//
+//   kSerial   - the prototype engine itself (one process, one thread)
+//   kThreaded - ParallelFaultSim fault sharding across worker threads
+//   kProcess  - ProcessFaultSim fault sharding across forked processes
+//
+// Orthogonally, makeCombFaultSim() picks the lane width of the PPSFP kernel
+// (64/128/256/512 pattern lanes per pass) at runtime from the same options
+// struct. All backends are byte-identical on results by construction; the
+// choice is purely a throughput/isolation trade (see src/fault/README.md,
+// "Backend ladder").
+#ifndef COREBIST_FAULT_BACKEND_HPP_
+#define COREBIST_FAULT_BACKEND_HPP_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "fault/fault_sim.hpp"
+
+namespace corebist {
+
+enum class FsimBackend {
+  kSerial,
+  kThreaded,
+  kProcess,
+};
+
+/// Stable lowercase name ("serial" / "threaded" / "process"); used in bench
+/// JSON rows and CLI flags.
+[[nodiscard]] const char* fsimBackendName(FsimBackend b) noexcept;
+
+/// Inverse of fsimBackendName; throws std::invalid_argument on unknown
+/// names (bench/CLI input validation).
+[[nodiscard]] FsimBackend parseFsimBackend(std::string_view name);
+
+struct FsimBackendOptions {
+  FsimBackend backend = FsimBackend::kSerial;
+  /// PPSFP kernel width in 64-lane words (1, 2, 4 or 8); 0 => the build
+  /// default kLaneWords. Only meaningful for makeCombFaultSim.
+  int lane_words = 0;
+  /// Worker threads/processes for the orchestrated backends; 0 => one per
+  /// hardware thread. Ignored by kSerial.
+  int num_workers = 0;
+  /// Faults per work unit for the orchestrated backends.
+  int shard_faults = 63;
+  /// Worker-hang watchdog for kProcess (ProcessFsimOptions::timeout_ms).
+  int timeout_ms = 120'000;
+};
+
+/// Combinational (full-scan) engine of the requested lane width, wrapped in
+/// the requested orchestrator. lane_words outside {0, 1, 2, 4, 8} throws
+/// std::invalid_argument.
+[[nodiscard]] std::unique_ptr<FaultSim> makeCombFaultSim(
+    const Netlist& nl, std::span<const NetId> inputs,
+    std::span<const NetId> observed, const FsimBackendOptions& opts = {});
+
+/// Wrap an existing prototype engine (combinational or sequential) in the
+/// requested orchestrator. kSerial returns a plain clone, so callers can
+/// treat all three uniformly; the prototype may die before the result.
+[[nodiscard]] std::unique_ptr<FaultSim> makeOrchestrator(
+    const FaultSim& prototype, const FsimBackendOptions& opts);
+
+}  // namespace corebist
+
+#endif  // COREBIST_FAULT_BACKEND_HPP_

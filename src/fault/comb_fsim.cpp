@@ -383,8 +383,9 @@ typename CombFaultSimT<W>::Word CombFaultSimT<W>::propagate(
 template class CombFaultSimT<1>;
 template class CombFaultSimT<2>;
 template class CombFaultSimT<4>;
+template class CombFaultSimT<8>;
 #if COREBIST_LANE_WORDS != 1 && COREBIST_LANE_WORDS != 2 && \
-    COREBIST_LANE_WORDS != 4
+    COREBIST_LANE_WORDS != 4 && COREBIST_LANE_WORDS != 8
 template class CombFaultSimT<kLaneWords>;
 #endif
 

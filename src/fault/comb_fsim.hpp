@@ -111,13 +111,16 @@ class CombFaultSimT final : public FaultSim {
 };
 
 // The kernel widths linked into the library: the 64-lane reference, the
-// 128-lane middle point (bench sweep) and the 256-lane default. Additional
-// widths need an explicit instantiation in comb_fsim.cpp.
+// 128-lane middle point (bench sweep), the 256-lane default and the
+// 512-lane AVX-512 width (one 512-bit op per LaneWord when compiled in;
+// portable multi-word loop otherwise). Additional widths need an explicit
+// instantiation in comb_fsim.cpp.
 extern template class CombFaultSimT<1>;
 extern template class CombFaultSimT<2>;
 extern template class CombFaultSimT<4>;
+extern template class CombFaultSimT<8>;
 #if COREBIST_LANE_WORDS != 1 && COREBIST_LANE_WORDS != 2 && \
-    COREBIST_LANE_WORDS != 4
+    COREBIST_LANE_WORDS != 4 && COREBIST_LANE_WORDS != 8
 extern template class CombFaultSimT<kLaneWords>;
 #endif
 

@@ -8,9 +8,12 @@
 // fanout walks) that dominates the narrow kernel.
 //
 // The default width is kLaneWords (4 -> 256 lanes, overridable with
-// -DCOREBIST_LANE_WORDS=n). Bitwise operations have an AVX2 path when the
-// translation unit is compiled with AVX2 enabled and a portable multi-word
-// fallback otherwise; LaneWord itself stores plain uint64_t words (no vector
+// -DCOREBIST_LANE_WORDS=n). Bitwise operations have an AVX-512 path (W == 8,
+// one 512-bit op per LaneWord) and an AVX2 path (W == 4) when the
+// translation unit is compiled with those ISAs enabled, and a portable
+// multi-word fallback otherwise; -DCOREBIST_PORTABLE_LANES forces the
+// fallback regardless of what the compiler flags enable (the CMake option of
+// the same name). LaneWord itself stores plain uint64_t words (no vector
 // members), so objects cross TU boundaries safely regardless of which path
 // each side compiled.
 //
@@ -26,11 +29,32 @@
 
 #include "netlist/gate.hpp"
 
-#if defined(__AVX2__)
+// ISA selection: COREBIST_PORTABLE_LANES (the CMake escape hatch) wins over
+// whatever the compiler flags enable, so a portable build stays portable
+// even under -march=native toolchain defaults.
+#if !defined(COREBIST_PORTABLE_LANES) && defined(__AVX512F__)
+#define COREBIST_LANE_AVX512 1
+#endif
+#if !defined(COREBIST_PORTABLE_LANES) && defined(__AVX2__)
+#define COREBIST_LANE_AVX2 1
+#endif
+#if defined(COREBIST_LANE_AVX512) || defined(COREBIST_LANE_AVX2)
 #include <immintrin.h>
 #endif
 
 namespace corebist {
+
+/// Compile-time ISA of the lane kernel in this build. Recorded in the bench
+/// JSONs (all three) so perf trajectories across heterogeneous runners are
+/// interpretable: "avx512" / "avx2" / "portable".
+inline constexpr const char* kLaneBackend =
+#if defined(COREBIST_LANE_AVX512)
+    "avx512";
+#elif defined(COREBIST_LANE_AVX2)
+    "avx2";
+#else
+    "portable";
+#endif
 
 #ifndef COREBIST_LANE_WORDS
 #define COREBIST_LANE_WORDS 4
@@ -82,10 +106,24 @@ struct LaneWord {
   }
 
   [[nodiscard]] bool any() const noexcept {
-#if defined(__AVX2__)
+#if defined(COREBIST_LANE_AVX512)
+    if constexpr (W == 8) {
+      const __m512i v = _mm512_loadu_si512(w);
+      return _mm512_test_epi64_mask(v, v) != 0;
+    }
+#endif
+#if defined(COREBIST_LANE_AVX2)
     if constexpr (W == 4) {
       const __m256i v =
           _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+      return _mm256_testz_si256(v, v) == 0;
+    }
+    if constexpr (W == 8) {
+      const __m256i lo =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+      const __m256i hi =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+      const __m256i v = _mm256_or_si256(lo, hi);
       return _mm256_testz_si256(v, v) == 0;
     }
 #endif
@@ -115,7 +153,14 @@ struct LaneWord {
   [[nodiscard]] friend LaneWord operator&(const LaneWord& a,
                                           const LaneWord& b) noexcept {
     LaneWord r;
-#if defined(__AVX2__)
+#if defined(COREBIST_LANE_AVX512)
+    if constexpr (W == 8) {
+      _mm512_storeu_si512(r.w, _mm512_and_si512(_mm512_loadu_si512(a.w),
+                                                _mm512_loadu_si512(b.w)));
+      return r;
+    }
+#endif
+#if defined(COREBIST_LANE_AVX2)
     if constexpr (W == 4) {
       _mm256_storeu_si256(
           reinterpret_cast<__m256i*>(r.w),
@@ -132,7 +177,14 @@ struct LaneWord {
   [[nodiscard]] friend LaneWord operator|(const LaneWord& a,
                                           const LaneWord& b) noexcept {
     LaneWord r;
-#if defined(__AVX2__)
+#if defined(COREBIST_LANE_AVX512)
+    if constexpr (W == 8) {
+      _mm512_storeu_si512(r.w, _mm512_or_si512(_mm512_loadu_si512(a.w),
+                                               _mm512_loadu_si512(b.w)));
+      return r;
+    }
+#endif
+#if defined(COREBIST_LANE_AVX2)
     if constexpr (W == 4) {
       _mm256_storeu_si256(
           reinterpret_cast<__m256i*>(r.w),
@@ -149,7 +201,14 @@ struct LaneWord {
   [[nodiscard]] friend LaneWord operator^(const LaneWord& a,
                                           const LaneWord& b) noexcept {
     LaneWord r;
-#if defined(__AVX2__)
+#if defined(COREBIST_LANE_AVX512)
+    if constexpr (W == 8) {
+      _mm512_storeu_si512(r.w, _mm512_xor_si512(_mm512_loadu_si512(a.w),
+                                                _mm512_loadu_si512(b.w)));
+      return r;
+    }
+#endif
+#if defined(COREBIST_LANE_AVX2)
     if constexpr (W == 4) {
       _mm256_storeu_si256(
           reinterpret_cast<__m256i*>(r.w),
@@ -165,7 +224,15 @@ struct LaneWord {
 
   [[nodiscard]] friend LaneWord operator~(const LaneWord& a) noexcept {
     LaneWord r;
-#if defined(__AVX2__)
+#if defined(COREBIST_LANE_AVX512)
+    if constexpr (W == 8) {
+      _mm512_storeu_si512(
+          r.w, _mm512_xor_si512(_mm512_loadu_si512(a.w),
+                                _mm512_set1_epi64(-1)));
+      return r;
+    }
+#endif
+#if defined(COREBIST_LANE_AVX2)
     if constexpr (W == 4) {
       _mm256_storeu_si256(
           reinterpret_cast<__m256i*>(r.w),

@@ -1,0 +1,421 @@
+// ProcessFaultSim orchestration: byte-identical results to the serial
+// engines on randomized netlists across 1/2/4 worker processes — plain
+// dropping campaigns, transition pair campaigns (FaultSimOptions::launch),
+// first-K dictionary records, and the windowed-MISR sequential path — plus
+// the failure-path regressions: a worker killed mid-run and a worker that
+// hangs must both surface as a structured ProcessFsimError with partial
+// accounting, with every child reaped (no hang, no zombies), and the
+// backend factory parse/name round-trip.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "fault/backend.hpp"
+#include "fault/comb_fsim.hpp"
+#include "fault/fault.hpp"
+#include "fault/process_fsim.hpp"
+#include "fault/seq_fsim.hpp"
+#include "netlist/builder.hpp"
+#include "scan/scan.hpp"
+
+namespace corebist {
+namespace {
+
+/// Random combinational DAG over `width` inputs.
+Netlist randomComb(std::uint64_t seed, int width, int gates) {
+  Netlist nl("rand");
+  Builder b(nl);
+  const Bus x = b.input("x", width);
+  std::vector<NetId> pool(x.begin(), x.end());
+  std::mt19937_64 rng(seed);
+  for (int g = 0; g < gates; ++g) {
+    const auto t = static_cast<GateType>(2 + rng() % 9);  // kBuf .. kMux2
+    const NetId a = pool[rng() % pool.size()];
+    const NetId bnet = pool[rng() % pool.size()];
+    const NetId s = pool[rng() % pool.size()];
+    NetId out = kNullNet;
+    switch (gateArity(t)) {
+      case 1:
+        out = nl.addGate1(t, a);
+        break;
+      case 2:
+        out = nl.addGate2(t, a, bnet);
+        break;
+      default:
+        out = nl.addMux(a, bnet, s);
+        break;
+    }
+    pool.push_back(out);
+  }
+  Bus outs(pool.end() - std::min<std::size_t>(8, pool.size()), pool.end());
+  b.output("y", outs);
+  nl.validate();
+  return nl;
+}
+
+/// Random sequential circuit: a comb core whose last nets feed a state
+/// register folded back into the input pool.
+Netlist randomSeq(std::uint64_t seed, int width, int state_bits, int gates) {
+  Netlist nl("rand_seq");
+  Builder b(nl);
+  const Bus x = b.input("x", width);
+  const Bus q = b.state("q", state_bits);
+  std::vector<NetId> pool(x.begin(), x.end());
+  pool.insert(pool.end(), q.begin(), q.end());
+  std::mt19937_64 rng(seed);
+  for (int g = 0; g < gates; ++g) {
+    const auto t = static_cast<GateType>(2 + rng() % 9);
+    const NetId a = pool[rng() % pool.size()];
+    const NetId bnet = pool[rng() % pool.size()];
+    const NetId s = pool[rng() % pool.size()];
+    NetId out = kNullNet;
+    switch (gateArity(t)) {
+      case 1:
+        out = nl.addGate1(t, a);
+        break;
+      case 2:
+        out = nl.addGate2(t, a, bnet);
+        break;
+      default:
+        out = nl.addMux(a, bnet, s);
+        break;
+    }
+    pool.push_back(out);
+  }
+  b.connect(q, Bus(pool.end() - state_bits, pool.end()));
+  Bus outs(pool.end() - std::min<std::size_t>(6, pool.size()), pool.end());
+  b.output("y", outs);
+  nl.validate();
+  return nl;
+}
+
+void expectSameResult(const FaultSimResult& ref, const FaultSimResult& got,
+                      const char* what) {
+  EXPECT_EQ(ref.first_detect, got.first_detect) << what;
+  EXPECT_EQ(ref.window_mask, got.window_mask) << what;
+  EXPECT_EQ(ref.misr_detect, got.misr_detect) << what;
+  EXPECT_EQ(ref.sig_words_per_fault, got.sig_words_per_fault) << what;
+  EXPECT_EQ(ref.window_sig, got.window_sig) << what;
+  EXPECT_EQ(ref.detect_patterns, got.detect_patterns) << what;
+  EXPECT_EQ(ref.patterns_applied, got.patterns_applied) << what;
+  EXPECT_EQ(ref.detected, got.detected) << what;
+  EXPECT_EQ(ref.total, got.total) << what;
+}
+
+/// True when this process has no unreaped children: the orchestrator must
+/// waitpid() every worker on success AND failure. The test binary spawns no
+/// other children, so ECHILD is the only acceptable state here.
+bool noZombies() {
+  const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+  return r == -1 && errno == ECHILD;
+}
+
+class ProcessEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProcessEquivalence, CombCampaignsMatchSerialByteForByte) {
+  const Netlist nl = randomComb(GetParam(), 10, 70);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(GetParam() ^ 0xD00D,
+                                     nl.primaryInputs().size(), 420);
+
+  std::vector<FaultSimOptions> modes;
+  {
+    FaultSimOptions o;  // dropping campaign with a stage ladder
+    o.cycles = 420;
+    o.prepass_cycles = 64;
+    modes.push_back(o);
+    o.prepass_cycles = 0;  // single full-length stage
+    modes.push_back(o);
+    o.drop_detected = false;  // full-length, no dropping
+    modes.push_back(o);
+    o = FaultSimOptions{};  // windowed detection masks
+    o.cycles = 420;
+    o.prepass_cycles = 0;
+    o.windows = 8;
+    modes.push_back(o);
+    o = FaultSimOptions{};  // first-K dictionary records
+    o.cycles = 420;
+    o.prepass_cycles = 0;
+    o.record_detections = 3;
+    modes.push_back(o);
+  }
+
+  CombFaultSim serial(nl, nl.primaryInputs(), nl.primaryOutputs());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const FaultSimResult ref = serial.run(u.faults, patterns, modes[m]);
+    for (const int workers : {1, 2, 4}) {
+      ProcessFsimOptions popts;
+      popts.num_workers = workers;
+      popts.shard_faults = workers == 4 ? 17 : 63;  // odd shards too
+      ProcessFaultSim psim(
+          CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+      const FaultSimResult r = psim.run(u.faults, patterns, modes[m]);
+      SCOPED_TRACE("mode " + std::to_string(m) + " workers " +
+                   std::to_string(workers));
+      expectSameResult(ref, r, "process vs serial");
+    }
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+TEST_P(ProcessEquivalence, TransitionPairCampaignMatchesSerial) {
+  const Netlist nl = randomComb(GetParam() ^ 0x7DF0, 9, 60);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const std::vector<Fault> tdf = toTransitionFaults(u.faults);
+
+  // Hand-built launch/capture pair streams, like the LOS driver's batches.
+  std::mt19937_64 rng(GetParam() ^ 0xFA1);
+  VectorPatternSource launch_src(nl.primaryInputs().size());
+  VectorPatternSource capture_src(nl.primaryInputs().size());
+  for (int b = 0; b < 3; ++b) {
+    PatternBlock v1, v2;
+    v1.inputs.resize(nl.primaryInputs().size());
+    v2.inputs.resize(nl.primaryInputs().size());
+    for (auto& w : v1.inputs) w = rng();
+    for (auto& w : v2.inputs) w = rng();
+    v1.count = v2.count = 64;
+    launch_src.appendBlock(v1);
+    capture_src.appendBlock(v2);
+  }
+
+  FaultSimOptions o;
+  o.cycles = capture_src.patternCount();
+  o.prepass_cycles = 0;
+  o.launch = &launch_src;
+
+  CombFaultSim serial(nl, nl.primaryInputs(), nl.primaryOutputs());
+  const FaultSimResult ref = serial.run(tdf, capture_src, o);
+  for (const int workers : {1, 2, 4}) {
+    ProcessFsimOptions popts;
+    popts.num_workers = workers;
+    popts.shard_faults = 21;
+    ProcessFaultSim psim(
+        CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+    const FaultSimResult r = psim.run(tdf, capture_src, o);
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    expectSameResult(ref, r, "pair campaign process vs serial");
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+TEST_P(ProcessEquivalence, SeqWindowedMisrMatchesSerial) {
+  const Netlist nl = randomSeq(GetParam() ^ 0x51, 7, 4, 50);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  std::mt19937_64 rng(GetParam() ^ 0xACE);
+  std::vector<std::uint64_t> stim(128);
+  for (auto& w : stim) w = rng() & ((std::uint64_t{1} << 7) - 1);
+  const CyclePatternSource patterns(stim, nl.primaryInputs().size());
+
+  MisrSpec misr;
+  misr.width = 12;
+  misr.poly = 0b100000101001ull | 1u;
+  misr.feeds.resize(12);
+  const auto& pos = nl.primaryOutputs();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    misr.feeds[i % 12].push_back(pos[i]);
+  }
+
+  SeqFsimOptions opts;
+  opts.cycles = 128;
+  opts.windows = 16;
+  opts.misr = misr;
+  const SeqFaultSim serial(nl);
+  const SeqFsimResult ref = serial.run(u.faults, stim, opts);
+
+  for (const int workers : {2, 4}) {
+    ProcessFsimOptions popts;
+    popts.num_workers = workers;
+    popts.shard_faults = 29;
+    ProcessFaultSim psim(SeqFaultSim{nl}, popts);
+    const FaultSimResult r = psim.run(u.faults, patterns, opts);
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    EXPECT_EQ(r.first_detect, ref.first_detect);
+    EXPECT_EQ(r.window_mask, ref.window_mask);
+    EXPECT_EQ(r.misr_detect, ref.misr_detect);
+    EXPECT_EQ(r.sig_words_per_fault, ref.sig_words_per_fault);
+    EXPECT_EQ(r.window_sig, ref.window_sig);
+    EXPECT_EQ(r.detected, ref.detected);
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcessEquivalence,
+                         ::testing::Values(11, 22, 33));
+
+TEST(ProcessFsimFailure, CrashedWorkerRaisesStructuredErrorWithoutZombies) {
+  const Netlist nl = randomComb(5, 10, 80);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  ASSERT_GE(u.faults.size(), 32u);
+  const RandomPatternSource patterns(9, nl.primaryInputs().size(), 256);
+  FaultSimOptions o;
+  o.cycles = 256;
+  o.prepass_cycles = 0;
+
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  popts.shard_faults = 8;  // many shards, so the crash lands mid-campaign
+  popts.inject_crash_worker = 1;
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  try {
+    (void)psim.run(u.faults, patterns, o);
+    FAIL() << "expected ProcessFsimError";
+  } catch (const ProcessFsimError& e) {
+    EXPECT_EQ(e.reason(), ProcessFsimError::Reason::kWorkerDied);
+    // Partial accounting of the failing stage.
+    EXPECT_GT(e.shardsTotal(), 1u);
+    EXPECT_LT(e.shardsCompleted(), e.shardsTotal());
+    EXPECT_LE(e.detectedSoFar(), u.faults.size());
+    EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
+  }
+  // Every child — including the crashed one — must have been reaped.
+  EXPECT_TRUE(noZombies());
+
+  // The failure is per-campaign: an orchestrator without the injected
+  // crash grades the same campaign to the byte-identical serial result.
+  CombFaultSim serial(nl, nl.primaryInputs(), nl.primaryOutputs());
+  const FaultSimResult ref = serial.run(u.faults, patterns, o);
+  ProcessFsimOptions good = popts;
+  good.inject_crash_worker = -1;
+  ProcessFaultSim retry(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, good);
+  const FaultSimResult r = retry.run(u.faults, patterns, o);
+  EXPECT_EQ(r.first_detect, ref.first_detect);
+  EXPECT_EQ(r.detected, ref.detected);
+  EXPECT_TRUE(noZombies());
+}
+
+TEST(ProcessFsimFailure, HungWorkerTimesOutStructuredNotForever) {
+  const Netlist nl = randomComb(6, 10, 80);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(7, nl.primaryInputs().size(), 256);
+  FaultSimOptions o;
+  o.cycles = 256;
+  o.prepass_cycles = 0;
+
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  popts.shard_faults = 8;
+  popts.timeout_ms = 300;  // the watchdog under test
+  popts.inject_hang_worker = 0;
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)psim.run(u.faults, patterns, o);
+    FAIL() << "expected ProcessFsimError";
+  } catch (const ProcessFsimError& e) {
+    EXPECT_EQ(e.reason(), ProcessFsimError::Reason::kTimeout);
+    EXPECT_GT(e.shardsTotal(), 0u);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Structured timeout, not a hang: the watchdog fired near timeout_ms
+  // (wide margin for slow CI runners, but far from "forever").
+  EXPECT_LT(elapsed, 30.0);
+  // The hung worker was SIGKILLed and reaped.
+  EXPECT_TRUE(noZombies());
+}
+
+TEST(ProcessFsimValidation, EngineErrorsSurfaceAsInvalidArgument) {
+  // MISR compaction on the comb kernel is invalid; the worker's engine
+  // rejects it and the parent must rethrow the engine's own error type,
+  // after reaping the fleet.
+  const Netlist nl = randomComb(8, 8, 30);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(2, nl.primaryInputs().size(), 64);
+  FaultSimOptions o;
+  o.cycles = 64;
+  o.prepass_cycles = 0;
+  o.misr = MisrSpec{};
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  EXPECT_THROW((void)psim.run(u.faults, patterns, o), std::invalid_argument);
+  EXPECT_TRUE(noZombies());
+}
+
+TEST(ProcessFsimBackend, AtpgGradingOnProcessBackendMatchesThreaded) {
+  const Netlist nl = randomSeq(88, 8, 10, 60);
+  const Netlist scanned = buildScannedModule(nl);
+  const ScanView view = makeScanView(scanned);
+  const FaultUniverse u = enumerateStuckAt(scanned);
+  const auto tdf = toTransitionFaults(u.faults);
+  FullScanAtpgOptions opts;
+  opts.max_random_blocks = 4;
+  opts.random_stall_blocks = 2;
+  opts.num_threads = 1;
+  const auto saf_ref = runFullScanAtpg(scanned, view, u.faults, opts);
+  const auto tdf_ref = runFullScanTransition(scanned, view, tdf, opts);
+
+  opts.num_threads = 2;
+  opts.grading_backend = FsimBackend::kProcess;
+  const auto saf_p = runFullScanAtpg(scanned, view, u.faults, opts);
+  EXPECT_EQ(saf_p.detected, saf_ref.detected);
+  EXPECT_EQ(saf_p.aborted, saf_ref.aborted);
+  EXPECT_EQ(saf_p.patterns, saf_ref.patterns);
+  EXPECT_EQ(saf_p.batches, saf_ref.batches);
+  const auto tdf_p = runFullScanTransition(scanned, view, tdf, opts);
+  EXPECT_EQ(tdf_p.detected, tdf_ref.detected);
+  EXPECT_EQ(tdf_p.patterns, tdf_ref.patterns);
+  EXPECT_TRUE(noZombies());
+}
+
+TEST(ProcessFsimBackend, FactoryWrapsEveryBackendOverEveryLaneWidth) {
+  const Netlist nl = randomComb(17, 9, 50);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(4, nl.primaryInputs().size(), 192);
+  FaultSimOptions o;
+  o.cycles = 192;
+  o.prepass_cycles = 0;
+
+  FsimBackendOptions ref_opts;  // serial, 64-lane reference
+  ref_opts.lane_words = 1;
+  const auto ref_engine =
+      makeCombFaultSim(nl, nl.primaryInputs(), nl.primaryOutputs(), ref_opts);
+  const FaultSimResult ref = ref_engine->run(u.faults, patterns, o);
+
+  for (const FsimBackend backend :
+       {FsimBackend::kSerial, FsimBackend::kThreaded, FsimBackend::kProcess}) {
+    for (const int lw : {1, 2, 4, 8}) {
+      FsimBackendOptions bopts;
+      bopts.backend = backend;
+      bopts.lane_words = lw;
+      bopts.num_workers = 2;
+      const auto engine = makeCombFaultSim(nl, nl.primaryInputs(),
+                                           nl.primaryOutputs(), bopts);
+      const FaultSimResult r = engine->run(u.faults, patterns, o);
+      SCOPED_TRACE(std::string(fsimBackendName(backend)) + " W=" +
+                   std::to_string(lw));
+      EXPECT_EQ(r.first_detect, ref.first_detect);
+      EXPECT_EQ(r.detected, ref.detected);
+      EXPECT_EQ(r.patterns_applied, ref.patterns_applied);
+    }
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+TEST(ProcessFsimBackend, NamesParseAndRoundTrip) {
+  for (const FsimBackend b : {FsimBackend::kSerial, FsimBackend::kThreaded,
+                              FsimBackend::kProcess}) {
+    EXPECT_EQ(parseFsimBackend(fsimBackendName(b)), b);
+  }
+  EXPECT_THROW((void)parseFsimBackend("gpu"), std::invalid_argument);
+  EXPECT_THROW((void)parseFsimBackend(""), std::invalid_argument);
+  EXPECT_THROW((void)makeCombFaultSim(randomComb(1, 6, 10), {}, {},
+                                      FsimBackendOptions{.lane_words = 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corebist

@@ -1,6 +1,6 @@
-// Wide-lane kernel equivalence: CombFaultSimT<2> / CombFaultSimT<4> must be
-// byte-identical to the 64-lane reference CombFaultSimT<1> on randomized
-// netlists across every campaign mode — partial tail blocks, windowed masks,
+// Wide-lane kernel equivalence: CombFaultSimT<2> / CombFaultSimT<4> /
+// CombFaultSimT<8> (the AVX-512 width) must be byte-identical to the 64-lane
+// reference CombFaultSimT<1> on randomized netlists across every campaign mode — partial tail blocks, windowed masks,
 // first-K dictionary records, stall exits and transition pair blocks — plus
 // the wide-fill decomposition contract of PatternSource and the thread-safe
 // transposition cache of CyclePatternSource.
@@ -133,9 +133,11 @@ TEST_P(WideEquivalence, AllCampaignModesMatch64LaneReference) {
       const auto ref = runWidth<1>(nl, u.faults, *src, modes[m]);
       const auto got2 = runWidth<2>(nl, u.faults, *src, modes[m]);
       const auto got4 = runWidth<4>(nl, u.faults, *src, modes[m]);
+      const auto got8 = runWidth<8>(nl, u.faults, *src, modes[m]);
       SCOPED_TRACE("mode " + std::to_string(m));
       expectSameResult(ref, got2, "W=2 vs W=1");
       expectSameResult(ref, got4, "W=4 vs W=1");
+      expectSameResult(ref, got8, "W=8 vs W=1");
     }
   }
 }
@@ -150,8 +152,10 @@ TEST_P(WideEquivalence, ShortBudgetsAndSingleLaneMatch) {
     o.prepass_cycles = 0;
     const auto ref = runWidth<1>(nl, u.faults, src, o);
     const auto got = runWidth<4>(nl, u.faults, src, o);
+    const auto got8 = runWidth<8>(nl, u.faults, src, o);
     SCOPED_TRACE("cycles " + std::to_string(cycles));
     expectSameResult(ref, got, "W=4 vs W=1");
+    expectSameResult(ref, got8, "W=8 vs W=1");
   }
 }
 
@@ -161,6 +165,7 @@ TEST_P(WideEquivalence, TransitionPairBlocksMatch) {
   const std::vector<Fault> tdf = toTransitionFaults(u.faults);
   CombFaultSimT<1> narrow(nl, nl.primaryInputs(), nl.primaryOutputs());
   CombFaultSimT<4> wide(nl, nl.primaryInputs(), nl.primaryOutputs());
+  CombFaultSimT<8> wide8(nl, nl.primaryInputs(), nl.primaryOutputs());
   std::mt19937_64 rng(GetParam());
   for (int trial = 0; trial < 4; ++trial) {
     PatternBlock v1, v2;
@@ -171,11 +176,15 @@ TEST_P(WideEquivalence, TransitionPairBlocksMatch) {
     v1.count = v2.count = trial == 0 ? 23 : 64;  // include a partial block
     narrow.loadPairBlock(v1, v2);
     wide.loadPairBlock(v1, v2);
+    wide8.loadPairBlock(v1, v2);
     for (const Fault& f : tdf) {
       const auto dn = narrow.detect(f);
       const auto dw = wide.detect(f);
+      const auto d8 = wide8.detect(f);
       EXPECT_EQ(dn.word(0), dw.word(0)) << describeFault(nl, f);
+      EXPECT_EQ(dn.word(0), d8.word(0)) << describeFault(nl, f);
       for (int wi = 1; wi < 4; ++wi) EXPECT_EQ(dw.word(wi), 0u);
+      for (int wi = 1; wi < 8; ++wi) EXPECT_EQ(d8.word(wi), 0u);
     }
   }
 }
@@ -300,6 +309,37 @@ TEST(CyclePatternSourceCache, CoherentUnderConcurrentFills) {
   }
   for (auto& w : workers) w.join();
   for (int t = 0; t < 8; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(LaneWordOps, EightWordOpsMatchPortableSemantics) {
+  // W=8 is the width with a dedicated AVX-512 path; check the operators
+  // against scalar recomputation so an intrinsics bug cannot hide behind
+  // the (vector-vector) equivalence tests above.
+  using W8 = LaneWord<8>;
+  std::mt19937_64 rng(0x8888);
+  for (int trial = 0; trial < 32; ++trial) {
+    W8 a, b;
+    for (int i = 0; i < 8; ++i) {
+      a.w[i] = rng();
+      b.w[i] = rng();
+    }
+    const W8 land = a & b, lor = a | b, lxor = a ^ b, lnot = ~a;
+    bool expect_any = false;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(land.w[i], a.w[i] & b.w[i]);
+      EXPECT_EQ(lor.w[i], a.w[i] | b.w[i]);
+      EXPECT_EQ(lxor.w[i], a.w[i] ^ b.w[i]);
+      EXPECT_EQ(lnot.w[i], ~a.w[i]);
+      expect_any = expect_any || a.w[i] != 0;
+    }
+    EXPECT_EQ(a.any(), expect_any);
+  }
+  EXPECT_FALSE(W8::zero().any());
+  EXPECT_TRUE(W8::ones().any());
+  EXPECT_EQ(W8::ones().popcount(), 512);
+  EXPECT_EQ(W8::lowLanes(512), W8::ones());
+  EXPECT_EQ(W8::lowLanes(321).popcount(), 321);
+  EXPECT_EQ(W8::zero().firstLane(), 512);
 }
 
 TEST(LaneWordOps, MasksAndLaneIndexing) {
