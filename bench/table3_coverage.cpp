@@ -1,7 +1,9 @@
 // Table 3: fault coverage of BIST vs sequential-ATPG vs full-scan patterns,
 // stuck-at + transition-delay, with applied clock cycles and CPU time.
+#include <algorithm>
 #include <cstdio>
 
+#include "analyze/scoap.hpp"
 #include "atpg/atpg.hpp"
 #include "case_study.hpp"
 #include "fault/fault.hpp"
@@ -72,6 +74,39 @@ int main(int argc, char** argv) {
     const FaultUniverse u = enumerateStuckAt(nl);
     const auto tdf = toTransitionFaults(u.faults);
     const auto stim = cs.engine.stimulus(mc.slot, bist_cycles);
+
+    // ---- SCOAP static testability profile (analyze/scoap.hpp) ----
+    // Observation model of the functional machine: primary outputs plus
+    // flip-flop D nets (state capture). The profile explains the coverage
+    // rows below before any pattern is applied: high median CC/CO predicts
+    // the random-resistant faults PODEM has to chase.
+    {
+      std::vector<NetId> observed = nl.primaryOutputs();
+      for (const Dff& ff : nl.dffs()) observed.push_back(ff.d);
+      const ScoapScores sc = computeScoap(nl, observed);
+      std::vector<std::uint32_t> cc;
+      std::vector<std::uint32_t> co;
+      std::size_t unobservable = 0;
+      for (NetId n = 0; n < nl.numNets(); ++n) {
+        if (sc.cc0[n] < kScoapInf) cc.push_back(sc.cc0[n]);
+        if (sc.cc1[n] < kScoapInf) cc.push_back(sc.cc1[n]);
+        if (sc.co[n] < kScoapInf) {
+          co.push_back(sc.co[n]);
+        } else {
+          ++unobservable;
+        }
+      }
+      std::sort(cc.begin(), cc.end());
+      std::sort(co.begin(), co.end());
+      const auto median = [](const std::vector<std::uint32_t>& v) {
+        return v.empty() ? 0u : v[v.size() / 2];
+      };
+      std::printf("  %-10s       CC med %u max %u | CO med %u max %u | "
+                  "%zu unobservable nets (%zu total)\n",
+                  "SCOAP", median(cc), cc.empty() ? 0u : cc.back(),
+                  median(co), co.empty() ? 0u : co.back(), unobservable,
+                  nl.numNets());
+    }
 
     // ---- BIST (threaded fault-simulation kernel) ----
     {

@@ -1,0 +1,124 @@
+#include "analyze/diagnostic.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace corebist {
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslash, control chars). Kept local
+/// so the analyze layer stays free of session-layer includes.
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void appendNetArray(std::ostringstream& os, const char* key,
+                    const std::vector<NetId>& nets) {
+  os << "\"" << key << "\": [";
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    os << nets[i] << (i + 1 < nets.size() ? ", " : "");
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string_view severityName(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool LintReport::hasErrors() const noexcept {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::size_t LintReport::countOf(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<const Diagnostic*> LintReport::ofRule(std::string_view rule) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule) out.push_back(&d);
+  }
+  return out;
+}
+
+const Diagnostic* LintReport::firstError() const noexcept {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream os;
+  os << netlist << ": " << countOf(Severity::kError) << " errors, "
+     << countOf(Severity::kWarning) << " warnings, "
+     << countOf(Severity::kInfo) << " infos";
+  return os.str();
+}
+
+std::string LintReport::toJson() const {
+  std::ostringstream os;
+  os << "{\n  \"netlist\": \"" << escaped(netlist) << "\",\n"
+     << "  \"diagnostics\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << "    {\"severity\": \"" << severityName(d.severity)
+       << "\", \"rule\": \"" << escaped(d.rule) << "\", \"message\": \""
+       << escaped(d.message) << "\", ";
+    appendNetArray(os, "nets", d.nets);
+    os << ", ";
+    appendNetArray(os, "witness", d.witness);
+    os << "}" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace corebist

@@ -1,0 +1,49 @@
+#include "analyze/hazards.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace corebist {
+
+std::optional<Diagnostic> packedStimulusHazard(const Netlist& nl) {
+  const std::size_t n = nl.primaryInputs().size();
+  if (n <= kMaxPackedStimulusInputs) return std::nullopt;
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.rule = std::string(rules::kPackedStimulusWidth);
+  d.message = "module '" + nl.name() + "' has " + std::to_string(n) +
+              " primary inputs; packed one-word-per-cycle stimulus carries "
+              "at most " +
+              std::to_string(kMaxPackedStimulusInputs) +
+              " (sequential ATPG and BIST cycle streams cannot drive it; "
+              "scan the module or split its input space)";
+  d.nets.assign(nl.primaryInputs().begin() +
+                    static_cast<std::ptrdiff_t>(kMaxPackedStimulusInputs),
+                nl.primaryInputs().end());
+  return d;
+}
+
+void requirePackedStimulusWidth(const Netlist& nl, std::string_view context) {
+  const auto hazard = packedStimulusHazard(nl);
+  if (!hazard.has_value()) return;
+  throw std::invalid_argument(std::string(context) + ": " + hazard->message);
+}
+
+void requirePackedWidth(std::size_t width, std::string_view context) {
+  if (width <= kMaxPackedStimulusInputs) return;
+  throw std::invalid_argument(
+      std::string(context) + ": " + std::to_string(width) +
+      " inputs exceed the " + std::to_string(kMaxPackedStimulusInputs) +
+      "-bit packed cycle word");
+}
+
+void requirePatternWidth(std::size_t expected, std::size_t got,
+                         std::string_view context) {
+  if (expected == got) return;
+  throw std::invalid_argument(
+      std::string(context) + ": pattern carries " + std::to_string(got) +
+      " input bits but the source width is " + std::to_string(expected) +
+      " (lane columns would misalign)");
+}
+
+}  // namespace corebist

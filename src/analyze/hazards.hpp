@@ -1,0 +1,61 @@
+// Shared structural-hazard rules: width limits that several layers used to
+// re-derive independently.
+//
+// Two stimulus formats in the repo carry hard width limits:
+//  * packed per-cycle words (SeqFaultSim sequences, CyclePatternSource) put
+//    one bit per primary input into a 64-bit word, so a module with more
+//    than kMaxPackedStimulusInputs PIs cannot be driven — the `1 << j`
+//    shift would silently wrap and alias input j onto j - 64;
+//  * PPSFP pattern accumulation (VectorPatternSource) requires every
+//    appended pattern to match the source width bit-for-bit, or lane
+//    columns silently misalign.
+//
+// The limits live here — the structural linter, runSequentialAtpg and the
+// pattern sources all call the same predicates, so the numbers exist in
+// exactly one place.
+#ifndef COREBIST_ANALYZE_HAZARDS_HPP_
+#define COREBIST_ANALYZE_HAZARDS_HPP_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "analyze/diagnostic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// One packed stimulus word carries one bit per primary input.
+inline constexpr std::size_t kMaxPackedStimulusInputs = 64;
+
+/// True when `nl` can be driven by the packed one-word-per-cycle formats.
+[[nodiscard]] inline bool fitsPackedStimulus(const Netlist& nl) noexcept {
+  return nl.primaryInputs().size() <= kMaxPackedStimulusInputs;
+}
+
+/// The lint view of the limit: a warning-severity diagnostic when `nl`
+/// exceeds the packed width (rule `packed-stimulus-width`), nullopt when it
+/// fits. Warning, not error: the wide PPSFP sources drive any width — only
+/// the packed sequence formats (sequential ATPG, BIST cycle streams) are
+/// off the table.
+[[nodiscard]] std::optional<Diagnostic> packedStimulusHazard(
+    const Netlist& nl);
+
+/// The guard view of the same limit: throws std::invalid_argument naming
+/// `context` when `nl` exceeds the packed width.
+void requirePackedStimulusWidth(const Netlist& nl, std::string_view context);
+
+/// Width form of the same limit, for stimulus containers that only know
+/// their input count (CyclePatternSource): throws std::invalid_argument
+/// naming `context` when `width` exceeds the packed word capacity.
+void requirePackedWidth(std::size_t width, std::string_view context);
+
+/// Pattern-width agreement check shared by the hand-assembled pattern
+/// sources: throws std::invalid_argument naming `context` when `got` input
+/// bits were supplied to a width-`expected` source.
+void requirePatternWidth(std::size_t expected, std::size_t got,
+                         std::string_view context);
+
+}  // namespace corebist
+
+#endif  // COREBIST_ANALYZE_HAZARDS_HPP_

@@ -1,0 +1,159 @@
+#include "analyze/scoap.hpp"
+
+#include <algorithm>
+
+#include "netlist/levelize.hpp"
+
+namespace corebist {
+
+namespace {
+
+/// Controllability transfer of one gate, given input scores.
+void gateControllability(const Gate& g, const std::vector<std::uint32_t>& cc0,
+                         const std::vector<std::uint32_t>& cc1,
+                         std::uint32_t& out0, std::uint32_t& out1) {
+  const auto c0 = [&](int p) { return cc0[g.in[static_cast<std::size_t>(p)]]; };
+  const auto c1 = [&](int p) { return cc1[g.in[static_cast<std::size_t>(p)]]; };
+  switch (g.type) {
+    case GateType::kConst0:
+      out0 = 1;
+      out1 = kScoapInf;
+      break;
+    case GateType::kConst1:
+      out0 = kScoapInf;
+      out1 = 1;
+      break;
+    case GateType::kBuf:
+      out0 = scoapAdd(c0(0), 1);
+      out1 = scoapAdd(c1(0), 1);
+      break;
+    case GateType::kNot:
+      out0 = scoapAdd(c1(0), 1);
+      out1 = scoapAdd(c0(0), 1);
+      break;
+    case GateType::kAnd:
+      out1 = scoapAdd(scoapAdd(c1(0), c1(1)), 1);
+      out0 = scoapAdd(std::min(c0(0), c0(1)), 1);
+      break;
+    case GateType::kNand:
+      out0 = scoapAdd(scoapAdd(c1(0), c1(1)), 1);
+      out1 = scoapAdd(std::min(c0(0), c0(1)), 1);
+      break;
+    case GateType::kOr:
+      out0 = scoapAdd(scoapAdd(c0(0), c0(1)), 1);
+      out1 = scoapAdd(std::min(c1(0), c1(1)), 1);
+      break;
+    case GateType::kNor:
+      out1 = scoapAdd(scoapAdd(c0(0), c0(1)), 1);
+      out0 = scoapAdd(std::min(c1(0), c1(1)), 1);
+      break;
+    case GateType::kXor:
+      out0 = scoapAdd(
+          std::min(scoapAdd(c0(0), c0(1)), scoapAdd(c1(0), c1(1))), 1);
+      out1 = scoapAdd(
+          std::min(scoapAdd(c0(0), c1(1)), scoapAdd(c1(0), c0(1))), 1);
+      break;
+    case GateType::kXnor:
+      out1 = scoapAdd(
+          std::min(scoapAdd(c0(0), c0(1)), scoapAdd(c1(0), c1(1))), 1);
+      out0 = scoapAdd(
+          std::min(scoapAdd(c0(0), c1(1)), scoapAdd(c1(0), c0(1))), 1);
+      break;
+    case GateType::kMux2:
+      // out = s ? b : a with in = (a, b, s)
+      out0 = scoapAdd(std::min(scoapAdd(c0(0), c0(2)), scoapAdd(c0(1), c1(2))),
+                      1);
+      out1 = scoapAdd(std::min(scoapAdd(c1(0), c0(2)), scoapAdd(c1(1), c1(2))),
+                      1);
+      break;
+  }
+}
+
+/// Observability of input pin `pin` of gate `g`, given CO of its output and
+/// the controllability scores of the sibling inputs.
+std::uint32_t pinObservability(const Gate& g, int pin, std::uint32_t co_out,
+                               const std::vector<std::uint32_t>& cc0,
+                               const std::vector<std::uint32_t>& cc1) {
+  if (co_out >= kScoapInf) return kScoapInf;
+  const auto c0 = [&](int p) { return cc0[g.in[static_cast<std::size_t>(p)]]; };
+  const auto c1 = [&](int p) { return cc1[g.in[static_cast<std::size_t>(p)]]; };
+  const int other = 1 - pin;  // sibling of a 2-input gate
+  switch (g.type) {
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return kScoapInf;  // no inputs
+    case GateType::kBuf:
+    case GateType::kNot:
+      return scoapAdd(co_out, 1);
+    case GateType::kAnd:
+    case GateType::kNand:
+      return scoapAdd(scoapAdd(co_out, c1(other)), 1);
+    case GateType::kOr:
+    case GateType::kNor:
+      return scoapAdd(scoapAdd(co_out, c0(other)), 1);
+    case GateType::kXor:
+    case GateType::kXnor:
+      return scoapAdd(scoapAdd(co_out, std::min(c0(other), c1(other))), 1);
+    case GateType::kMux2:
+      switch (pin) {
+        case 0:  // a: selected when s = 0
+          return scoapAdd(scoapAdd(co_out, c0(2)), 1);
+        case 1:  // b: selected when s = 1
+          return scoapAdd(scoapAdd(co_out, c1(2)), 1);
+        default:  // s: observable when a and b differ
+          return scoapAdd(
+              scoapAdd(co_out, std::min(scoapAdd(c0(0), c1(1)),
+                                        scoapAdd(c1(0), c0(1)))),
+              1);
+      }
+  }
+  return kScoapInf;
+}
+
+}  // namespace
+
+ScoapScores computeScoap(const Netlist& nl, std::span<const NetId> observed) {
+  const Levelization lv = levelize(nl);
+  const ReaderCsr& csr = nl.readerCsr();
+  const auto& gates = nl.gates();
+
+  ScoapScores s;
+  s.cc0.assign(nl.numNets(), kScoapInf);
+  s.cc1.assign(nl.numNets(), kScoapInf);
+  s.co.assign(nl.numNets(), kScoapInf);
+
+  // Forward pass: controllability, sources first.
+  for (const NetId n : nl.primaryInputs()) s.cc0[n] = s.cc1[n] = 1;
+  for (const Dff& ff : nl.dffs()) s.cc0[ff.q] = s.cc1[ff.q] = 1;
+  for (const GateId id : lv.order) {
+    gateControllability(gates[id], s.cc0, s.cc1, s.cc0[gates[id].out],
+                        s.cc1[gates[id].out]);
+  }
+
+  // Reverse pass: observability. Visiting gates in reverse topological
+  // order means every reader of a gate's output sits later in `order`, so
+  // its own CO is already final when we fold the fanout min.
+  std::vector<char> is_observed(nl.numNets(), 0);
+  for (const NetId n : observed) {
+    if (n < nl.numNets()) is_observed[n] = 1;
+  }
+  const auto netObservability = [&](NetId n) {
+    std::uint32_t best = is_observed[n] != 0 ? 0u : kScoapInf;
+    for (const NetReader& r : csr.of(n)) {
+      best = std::min(best, pinObservability(gates[r.gate], r.pin,
+                                             s.co[gates[r.gate].out], s.cc0,
+                                             s.cc1));
+    }
+    return best;
+  };
+  for (auto it = lv.order.rbegin(); it != lv.order.rend(); ++it) {
+    const NetId out = gates[*it].out;
+    s.co[out] = netObservability(out);
+  }
+  // Sources (PIs, state nets) are read-only nets: fold their fanout last.
+  for (const NetId n : nl.primaryInputs()) s.co[n] = netObservability(n);
+  for (const Dff& ff : nl.dffs()) s.co[ff.q] = netObservability(ff.q);
+  return s;
+}
+
+}  // namespace corebist

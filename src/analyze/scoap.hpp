@@ -1,0 +1,74 @@
+// SCOAP testability measures (Goldstein 1979) over the netlist CSR.
+//
+// Three per-net scores, all "number of pin assignments, roughly":
+//   CC0(n) / CC1(n)  combinational 0-/1-controllability: cost of forcing n
+//                    to 0 / 1 from the controllable sources (PIs and — in
+//                    the full-scan model this repo tests — flip-flop Q nets,
+//                    both cost 1).
+//   CO(n)            combinational observability: cost of propagating a
+//                    value change on n to an observed net (cost 0 there).
+//                    Stems take the min over their fanout branches.
+//
+// Gate transfer rules are the standard ones, e.g. for AND:
+//   CC1(out) = sum CC1(in_i) + 1        (every input must be 1)
+//   CC0(out) = min CC0(in_i) + 1        (any controlling input suffices)
+//   CO(in_i) = CO(out) + sum_{j != i} CC1(in_j) + 1
+// and for MUX2 (out = s ? b : a):
+//   CC0(out) = min(CC0(a)+CC0(s), CC0(b)+CC1(s)) + 1
+//   CO(s)    = CO(out) + min(CC0(a)+CC1(b), CC1(a)+CC0(b)) + 1
+//
+// Everything is computed in one forward levelized pass (controllability)
+// plus one reverse pass over the same order (observability, reading fanout
+// through Netlist::readerCsr()). Unreachable values saturate at kScoapInf
+// instead of overflowing.
+//
+// PODEM consumes these as objective-ordering heuristics (see
+// Podem::setScoap): scores never change *whether* a fault is detectable,
+// only the order in which the search tries decisions.
+#ifndef COREBIST_ANALYZE_SCOAP_HPP_
+#define COREBIST_ANALYZE_SCOAP_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace corebist {
+
+/// Saturation value for unreachable / uncontrollable / unobservable nets.
+inline constexpr std::uint32_t kScoapInf = 0x3FFF'FFFFu;
+
+/// Saturating add that never overflows past kScoapInf.
+[[nodiscard]] constexpr std::uint32_t scoapAdd(std::uint32_t a,
+                                               std::uint32_t b) noexcept {
+  const std::uint64_t s = std::uint64_t{a} + std::uint64_t{b};
+  return s >= kScoapInf ? kScoapInf : static_cast<std::uint32_t>(s);
+}
+
+struct ScoapScores {
+  std::vector<std::uint32_t> cc0;  // per net
+  std::vector<std::uint32_t> cc1;  // per net
+  std::vector<std::uint32_t> co;   // per net (stem = min over branches)
+
+  /// CC of net `n` for target value `v`.
+  [[nodiscard]] std::uint32_t cc(NetId n, bool v) const noexcept {
+    return v ? cc1[n] : cc0[n];
+  }
+  /// Testability of stuck-at-`stuck` on `n`: drive the opposite value and
+  /// observe it. The classic detection-cost estimate CC(!stuck) + CO.
+  [[nodiscard]] std::uint32_t saCost(NetId n, bool stuck) const noexcept {
+    return scoapAdd(stuck ? cc0[n] : cc1[n], co[n]);
+  }
+};
+
+/// Compute SCOAP scores for `nl`. PIs and flip-flop Q nets are the cost-1
+/// controllable sources; `observed` nets are the CO = 0 sinks — pass the
+/// same observation set the ATPG engine uses. Requires an acyclic netlist
+/// (lint first): throws std::logic_error on a combinational loop.
+[[nodiscard]] ScoapScores computeScoap(const Netlist& nl,
+                                       std::span<const NetId> observed);
+
+}  // namespace corebist
+
+#endif  // COREBIST_ANALYZE_SCOAP_HPP_

@@ -55,6 +55,21 @@ struct FullScanAtpgOptions {
   /// forked worker processes, kSerial ignores num_threads and grades on the
   /// wide kernel directly.
   FsimBackend grading_backend = FsimBackend::kThreaded;
+  /// Guide PODEM with SCOAP testability scores (analyze/scoap.hpp): the
+  /// D-frontier advances through the most observable gate and backtrace
+  /// orders input choices by controllability. Pure decision ordering: off
+  /// (the default) is byte-identical to the historical search; on, the set
+  /// of generatable tests is unchanged but backtrack counts (and which
+  /// exact pattern a fault gets) move.
+  bool use_scoap = false;
+  /// Skip PODEM targets that are observation-aware equivalent
+  /// (analyze/collapse.hpp) to an earlier target whose search either
+  /// produced a test (identical faulty functions => the test detects the
+  /// whole class, confirmed by batch grading) or proved the class
+  /// untestable by a complete search. Aborted leaders are never skipped
+  /// past — the member runs its own search — so only redundant PODEM calls
+  /// disappear. Off by default.
+  bool collapse_faults = false;
 };
 
 struct FullScanAtpgResult {
@@ -68,6 +83,11 @@ struct FullScanAtpgResult {
   std::size_t test_cycles = 0;
   std::size_t podem_calls = 0;  // PODEM invocations (targets attempted)
   std::size_t batches = 0;      // FaultSim::run grading campaigns flushed
+  /// Total PODEM backtracks over all calls (the SCOAP guidance metric).
+  std::size_t backtracks = 0;
+  /// PODEM targets skipped as equivalent to an earlier target (0 unless
+  /// FullScanAtpgOptions::collapse_faults).
+  std::size_t collapsed_faults = 0;
   double cpu_seconds = 0.0;
   [[nodiscard]] double coverage() const {
     return total_faults == 0 ? 0.0

@@ -154,8 +154,16 @@ bool Podem::pickObjective(NetId& net, Tv& val) const {
 
   // 2) Advance the D-frontier: find a gate with a divergent input and an
   // unknown output; ask for a non-controlling value on an X input.
+  //
+  // Unguided, the first frontier candidate in net order wins. With SCOAP
+  // installed the whole frontier is scanned and the candidate behind the
+  // most observable gate output (min CO) wins, hardest side input (max CC)
+  // first — fail fast on the side conditions before investing in the rest.
   const auto& gates = nl_.gates();
   const ReaderCsr& readers = nl_.readerCsr();
+  bool found = false;
+  std::uint32_t best_co = 0;
+  std::uint32_t best_cc = 0;
   for (NetId n = 0; n < nl_.numNets(); ++n) {
     const Tv g = gval_[n];
     const Tv f = fval_[n];
@@ -170,25 +178,35 @@ bool Podem::pickObjective(NetId& net, Tv& val) const {
       for (int p = 0; p < gate.nin; ++p) {
         const NetId in = gate.in[static_cast<std::size_t>(p)];
         if (in == n) continue;
-        if (gval_[in] == Tv::kX) {
-          const auto cv = controllingValue(gate.type);
-          Tv want = Tv::k1;
-          if (cv.has_value()) {
-            want = (*cv == Tv::k0) ? Tv::k1 : Tv::k0;  // non-controlling
-          } else if (gate.type == GateType::kMux2 && p == 2) {
-            // Select the divergent data input.
-            want = (gate.in[0] == n) ? Tv::k0 : Tv::k1;
-          } else {
-            want = Tv::k0;  // XOR-family: any binary value sensitizes
-          }
+        if (gval_[in] != Tv::kX) continue;
+        const auto cv = controllingValue(gate.type);
+        Tv want = Tv::k1;
+        if (cv.has_value()) {
+          want = (*cv == Tv::k0) ? Tv::k1 : Tv::k0;  // non-controlling
+        } else if (gate.type == GateType::kMux2 && p == 2) {
+          // Select the divergent data input.
+          want = (gate.in[0] == n) ? Tv::k0 : Tv::k1;
+        } else {
+          want = Tv::k0;  // XOR-family: any binary value sensitizes
+        }
+        if (scoap_ == nullptr) {
           net = in;
           val = want;
           return true;
         }
+        const std::uint32_t co = scoap_->co[gate.out];
+        const std::uint32_t cc = scoap_->cc(in, want == Tv::k1);
+        if (!found || co < best_co || (co == best_co && cc > best_cc)) {
+          found = true;
+          best_co = co;
+          best_cc = cc;
+          net = in;
+          val = want;
+        }
       }
     }
   }
-  return false;  // no frontier left
+  return found;
 }
 
 bool Podem::backtrace(NetId obj_net, Tv obj_val, int& input_index,
@@ -209,27 +227,66 @@ bool Podem::backtrace(NetId obj_net, Tv obj_val, int& input_index,
     if (d == Netlist::kNoDriver) return false;  // state net outside the view
     const Gate& gate = gates[d];
     if (gate.nin == 0) return false;  // constant
-    // Choose the first X input; adjust the wanted value by inversion parity.
-    int pick = -1;
+    // Collect the X inputs; unguided takes the first, SCOAP reorders.
+    int xpins[3];
+    int nx = 0;
     for (int p = 0; p < gate.nin; ++p) {
-      if (gval_[gate.in[static_cast<std::size_t>(p)]] == Tv::kX) {
-        pick = p;
-        break;
-      }
+      if (gval_[gate.in[static_cast<std::size_t>(p)]] == Tv::kX) xpins[nx++] = p;
     }
-    if (pick < 0) return false;
+    if (nx == 0) return false;
+    int pick = xpins[0];
+    const auto ccOf = [&](int p, Tv val) {
+      return scoap_->cc(gate.in[static_cast<std::size_t>(p)], val == Tv::k1);
+    };
     if (gate.type == GateType::kMux2) {
-      // Steer: justify through the select first if unknown.
+      // Steer: value heuristic keeps v for data pins, 0 for select. Guided,
+      // take the cheapest pin to justify.
+      if (scoap_ != nullptr) {
+        for (int i = 1; i < nx; ++i) {
+          const Tv cand_v = (xpins[i] == 2) ? Tv::k0 : v;
+          const Tv pick_v = (pick == 2) ? Tv::k0 : v;
+          if (ccOf(xpins[i], cand_v) < ccOf(pick, pick_v)) pick = xpins[i];
+        }
+      }
       n = gate.in[static_cast<std::size_t>(pick)];
-      // Value heuristic: keep v for data pins, 0 for select.
       v = (pick == 2) ? Tv::k0 : v;
       continue;
     }
-    if (inverts(gate.type)) v = (v == Tv::k0) ? Tv::k1 : Tv::k0;
     if (gate.type == GateType::kXor || gate.type == GateType::kXnor) {
-      v = Tv::k0;  // parity gates: free choice
+      // Parity gates: pin and value are both free choices. Guided, take the
+      // pin whose cheaper polarity is cheapest, at that polarity.
+      Tv free_v = Tv::k0;
+      if (scoap_ != nullptr) {
+        const auto minCc = [&](int p) {
+          return std::min(ccOf(p, Tv::k0), ccOf(p, Tv::k1));
+        };
+        for (int i = 1; i < nx; ++i) {
+          if (minCc(xpins[i]) < minCc(pick)) pick = xpins[i];
+        }
+        free_v = ccOf(pick, Tv::k0) <= ccOf(pick, Tv::k1) ? Tv::k0 : Tv::k1;
+      }
+      n = gate.in[static_cast<std::size_t>(pick)];
+      v = free_v;
+      continue;
+    }
+    // BUF/NOT/AND/NAND/OR/NOR: every input wants the same value (parity
+    // adjusted). Guided: when any single input settles the output (the
+    // wanted input value is the controlling value), justify the easiest
+    // input; when all inputs are needed, the hardest — fail fast.
+    const Tv v_in =
+        inverts(gate.type) ? (v == Tv::k0 ? Tv::k1 : Tv::k0) : v;
+    if (scoap_ != nullptr && nx > 1) {
+      const auto cv = controllingValue(gate.type);
+      const bool any_suffices = cv.has_value() && v_in == *cv;
+      for (int i = 1; i < nx; ++i) {
+        const bool better = any_suffices
+                                ? ccOf(xpins[i], v_in) < ccOf(pick, v_in)
+                                : ccOf(xpins[i], v_in) > ccOf(pick, v_in);
+        if (better) pick = xpins[i];
+      }
     }
     n = gate.in[static_cast<std::size_t>(pick)];
+    v = v_in;
   }
   return false;
 }
@@ -240,6 +297,7 @@ std::optional<std::vector<Tv>> Podem::generate(const Fault& f) {
   fval_.assign(nl_.numNets(), Tv::kX);
   assignment_.assign(inputs_.size(), Tv::kX);
   backtracks_ = 0;
+  aborted_ = false;
 
   std::vector<Decision> stack;
   implyAll();
@@ -270,7 +328,8 @@ std::optional<std::vector<Tv>> Podem::generate(const Fault& f) {
         a = (a == Tv::k0) ? Tv::k1 : Tv::k0;
         ++backtracks_;
         if (backtracks_ > static_cast<std::size_t>(backtrack_limit_)) {
-          return std::nullopt;  // aborted
+          aborted_ = true;
+          return std::nullopt;
         }
         implyAll();
         recovered = true;
@@ -284,6 +343,7 @@ std::optional<std::vector<Tv>> Podem::generate(const Fault& f) {
     }
     if (stack.empty() && !recovered) return std::nullopt;
   }
+  aborted_ = true;  // iteration guard: search space not exhausted
   return std::nullopt;
 }
 

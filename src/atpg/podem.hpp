@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "analyze/scoap.hpp"
 #include "fault/fault.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
@@ -36,6 +37,25 @@ class Podem {
   [[nodiscard]] std::size_t backtracksUsed() const noexcept {
     return backtracks_;
   }
+
+  /// True when the last generate() returned nullopt because a search budget
+  /// (backtrack limit or iteration guard) ran out — i.e. nothing was
+  /// *proven*. False after a nullopt means the complete search space was
+  /// exhausted: the fault is untestable, and so is every fault with the
+  /// same faulty function (the distinction equivalence-collapsed targeting
+  /// relies on).
+  [[nodiscard]] bool lastAborted() const noexcept { return aborted_; }
+
+  /// Install SCOAP scores as the objective-ordering heuristic: the
+  /// D-frontier advances through the most observable gate (min CO) and
+  /// backtrace picks the easiest input when any suffices / the hardest when
+  /// all are needed. Purely an ordering hint — with `scores == nullptr`
+  /// (the default) the search is bit-identical to the unguided baseline,
+  /// and either way the set of testable faults is unchanged; only the
+  /// decision order (and therefore the backtrack count) moves. The caller
+  /// keeps `scores` alive for the Podem's lifetime; scores must be computed
+  /// with the same observed set.
+  void setScoap(const ScoapScores* scores) noexcept { scoap_ = scores; }
 
  private:
   struct Decision {
@@ -59,6 +79,8 @@ class Podem {
   std::vector<int> input_of_net_;  // net -> input index or -1
   int backtrack_limit_;
   std::size_t backtracks_ = 0;
+  bool aborted_ = false;
+  const ScoapScores* scoap_ = nullptr;  // optional ordering heuristic
 
   // Current fault.
   Fault fault_{};

@@ -11,10 +11,31 @@
 #include <thread>
 #include <vector>
 
+#include "analyze/lint.hpp"
 #include "core/session_channel.hpp"
 
 namespace corebist {
 namespace {
+
+/// Admission lint: every module netlist of a referenced core must be free
+/// of error-severity structural findings before any channel drives it. The
+/// BIST engine's attach path never levelizes, so without this gate a
+/// combinational loop (or a floating/doubly-driven net) only surfaces as a
+/// mid-campaign levelize throw or a garbage signature; here it is rejected
+/// at plan-resolve time with the violated rule's name.
+void lintCoreModules(Soc& soc, int core_index) {
+  const BistEngine& engine = soc.core(core_index).engine();
+  for (int m = 0; m < engine.moduleCount(); ++m) {
+    const LintReport report = lintNetlist(engine.module(m));
+    if (const Diagnostic* err = report.firstError()) {
+      throw std::invalid_argument(
+          "TestPlan: core " + std::to_string(core_index) + " module " +
+          std::to_string(m) + " ('" + engine.module(m).name() +
+          "') fails structural lint rule '" + err->rule +
+          "': " + err->message);
+    }
+  }
+}
 
 /// Concretize a plan entry against the plan-wide defaults and validate it
 /// against the SoC (existence, TAM assignment, counter capacity).
@@ -24,6 +45,7 @@ CorePlan resolveEntry(const TestPlan& plan, const CorePlan& entry, Soc& soc) {
     throw std::invalid_argument("TestPlan: no core with index " +
                                 std::to_string(r.core_index));
   }
+  lintCoreModules(soc, r.core_index);
   const Soc::CoreTopology& topo = soc.topology(r.core_index);
   if (r.tam >= 0 && r.tam != topo.tam) {
     throw std::invalid_argument(

@@ -76,7 +76,7 @@ void CyclePatternSource::fill(int start, PatternBlock& out) const {
 }
 
 void VectorPatternSource::append(std::span<const std::uint8_t> bits) {
-  assert(bits.size() == width_ && "VectorPatternSource: pattern width mismatch");
+  requirePatternWidth(width_, bits.size(), "VectorPatternSource::append");
   const int lane = count_ % 64;
   if (lane == 0) blocks_.emplace_back(width_, 0);
   auto& col = blocks_.back();

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analyze/hazards.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 
@@ -209,11 +210,12 @@ class PatternSource {
 /// the transpose exactly once per block instead of once per worker pass.
 class CyclePatternSource final : public PatternSource {
  public:
-  /// `width` must be <= 64: a packed cycle word carries one bit per input.
+  /// `width` must fit one packed cycle word (one bit per input). The limit
+  /// is the shared analyzer hazard rule — kMaxPackedStimulusInputs — and
+  /// exceeding it throws std::invalid_argument.
   CyclePatternSource(std::span<const std::uint64_t> words, std::size_t width)
       : words_(words), width_(width) {
-    assert(width <= 64 &&
-           "CyclePatternSource: packed cycle words carry at most 64 inputs");
+    requirePackedWidth(width, "CyclePatternSource");
   }
 
   [[nodiscard]] int patternCount() const override {

@@ -129,6 +129,36 @@ void Netlist::mutateGateType(GateId g, GateType t) {
   gates_[g].type = t;
 }
 
+void Netlist::rebindGateInput(GateId g, std::uint8_t pin, NetId n) {
+  if (g >= gates_.size()) {
+    throw std::invalid_argument("rebindGateInput: bad gate id");
+  }
+  if (pin >= gates_[g].nin) {
+    throw std::invalid_argument("rebindGateInput: bad pin");
+  }
+  if (n >= num_nets_) throw std::invalid_argument("rebindGateInput: bad net");
+  gates_[g].in[pin] = n;
+  invalidateCaches();
+}
+
+void Netlist::addRogueDriver(NetId target, NetId source) {
+  if (target >= num_nets_ || source >= num_nets_) {
+    throw std::invalid_argument("addRogueDriver: bad net id");
+  }
+  Gate g;
+  g.type = GateType::kBuf;
+  g.nin = 1;
+  g.in[0] = source;
+  g.out = target;
+  // Deliberately no driver_ update: the original driver keeps driverOf()
+  // so downstream queries stay stable while the lint reports the clash.
+  if (driver_[target] == kNoDriver && !isStateNet(target)) {
+    driver_[target] = static_cast<GateId>(gates_.size());
+  }
+  gates_.push_back(g);
+  invalidateCaches();
+}
+
 void Netlist::setNetName(NetId n, std::string name) {
   net_names_[n] = std::move(name);
 }

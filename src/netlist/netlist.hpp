@@ -99,6 +99,19 @@ class Netlist {
   /// injection utilities to model manufacturing defects.
   void mutateGateType(GateId g, GateType t);
 
+  /// Re-route one fanin pin of an existing gate to a different net. Like
+  /// mutateGateType this is defect surgery: it can create the broken
+  /// structures (combinational loops, reads of undriven nets) that the
+  /// static linter exists to catch, so it performs no structural checks
+  /// beyond id validity.
+  void rebindGateInput(GateId g, std::uint8_t pin, NetId n);
+
+  /// Add a second BUF driver onto an already-driven net (a bridging/short
+  /// defect). driverOf() keeps reporting the original driver; the linter
+  /// reports the contention as `multi-driven-net`. Defect surgery — the
+  /// result fails validate().
+  void addRogueDriver(NetId target, NetId source);
+
   /// Optional debug name for a net.
   void setNetName(NetId n, std::string name);
   [[nodiscard]] std::string netName(NetId n) const;

@@ -282,6 +282,41 @@ TEST(SocScheduler, LegacyShimMatchesSchedulerResults) {
   }
 }
 
+TEST(SocScheduler, PlanResolutionRejectsStructurallyBrokenCoreModules) {
+  // Admission-time lint (analyze/lint.hpp): a module with an injected
+  // combinational loop must be rejected when its core is referenced by the
+  // plan — with the rule id in the message — instead of exploding inside a
+  // campaign levelization later.
+  auto soc = std::make_unique<Soc>("lint_soc");
+  auto good = std::make_unique<WrappedCore>("good");
+  good->addModule(makeToyModule(0));
+  soc->attachCore(std::move(good));
+
+  Netlist broken = makeToyModule(1);
+  GateId victim = 0;
+  while (broken.gates()[victim].nin < 1) ++victim;
+  broken.rebindGateInput(victim, 0, broken.gates()[victim].out);
+  auto bad = std::make_unique<WrappedCore>("bad");
+  bad->addModule(broken);
+  soc->attachCore(std::move(bad));
+
+  try {
+    (void)SocTestScheduler(*soc).run(
+        TestPlan{}.withPatterns(64).withThreads(1));
+    FAIL() << "expected the broken core to be rejected at plan resolve";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("comb-loop"), std::string::npos) << what;
+    EXPECT_NE(what.find("core 1"), std::string::npos) << what;
+  }
+
+  // A plan that references only the healthy core still runs.
+  TestPlan ok_plan = TestPlan{}.withPatterns(64).withThreads(1);
+  ok_plan.addCore(0);
+  const SessionReport report = SocTestScheduler(*soc).run(ok_plan);
+  EXPECT_EQ(report.cores.size(), 1u);
+}
+
 TEST(SocScheduler, ChipTapIsCreditedWithCampaignTcks) {
   auto soc = makeSoc();
   const std::size_t before = soc->tap().tckCount();
