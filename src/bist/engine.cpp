@@ -139,11 +139,17 @@ FaultSimResult BistEngine::signatureCoverage(int m,
                                              std::span<const Fault> faults,
                                              int cycles, int num_threads,
                                              FsimBackend backend) const {
-  const Hookup& h = modules_.at(static_cast<std::size_t>(m));
-  const auto stim = stimulus(m, cycles);
   FsimBackendOptions bopts;
   bopts.backend = backend;
   bopts.num_workers = num_threads;
+  return signatureCoverage(m, faults, cycles, bopts);
+}
+
+FaultSimResult BistEngine::signatureCoverage(
+    int m, std::span<const Fault> faults, int cycles,
+    const FsimBackendOptions& bopts) const {
+  const Hookup& h = modules_.at(static_cast<std::size_t>(m));
+  const auto stim = stimulus(m, cycles);
   const std::unique_ptr<FaultSim> fsim =
       makeOrchestrator(SeqFaultSim(*h.nl), bopts);
   const CyclePatternSource patterns(stim, h.nl->primaryInputs().size());

@@ -119,6 +119,13 @@ class BistEngine {
       int m, std::span<const Fault> faults, int cycles, int num_threads = 0,
       FsimBackend backend = FsimBackend::kThreaded) const;
 
+  /// Same, but with full backend control — retry budgets, backoff and the
+  /// degradation ladder for FsimBackend::kResilient ride in `bopts`. The
+  /// convenience overload above delegates here.
+  [[nodiscard]] FaultSimResult signatureCoverage(
+      int m, std::span<const Fault> faults, int cycles,
+      const FsimBackendOptions& bopts) const;
+
  private:
   struct Hookup {
     // Owned copy: hookups must outlive any caller-provided reference.

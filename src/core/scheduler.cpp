@@ -13,6 +13,7 @@
 
 #include "analyze/lint.hpp"
 #include "core/session_channel.hpp"
+#include "fault/failpoint.hpp"
 
 namespace corebist {
 namespace {
@@ -61,6 +62,11 @@ CorePlan resolveEntry(const TestPlan& plan, const CorePlan& entry, Soc& soc) {
   if (r.coverage_target < 0.0) r.coverage_target = plan.coverage_target;
   if (!r.coverage_backend.has_value()) r.coverage_backend = plan.coverage_backend;
   if (r.coverage_workers <= 0) r.coverage_workers = plan.coverage_workers;
+  if (r.max_shard_retries < 0) r.max_shard_retries = plan.max_shard_retries;
+  if (r.backoff_base_ms < 0) r.backoff_base_ms = plan.backoff_base_ms;
+  if (!r.degrade_on_failure.has_value()) {
+    r.degrade_on_failure = plan.degrade_on_failure;
+  }
   if (r.warmup_idle < 0) r.warmup_idle = r.patterns + 4;
   const int max_patterns =
       soc.core(r.core_index).controlUnit().maxPatterns();
@@ -158,6 +164,62 @@ std::vector<TreeGroup> groupByTree(const std::vector<CorePlan>& entries,
   return groups;
 }
 
+/// Run one core with channel-level self-healing. A SessionChannelError
+/// means the test-access plumbing (not the core) failed, so the suspect
+/// channel is dropped, a fresh replica is opened, and the core is re-run
+/// from the top — CoreReport attempts/polls reset with the channel, which
+/// is what keeps a recovered core's fingerprint identical to a never-failed
+/// run. After `entry.max_shard_retries` reopens the core is quarantined
+/// (verdict kQuarantined, identity fields only, zero TCK/at-speed
+/// accounting so campaign totals stay deterministic) — or, when the plan
+/// sets degrade_on_failure=false, the error propagates and fails the
+/// campaign. All other exception types propagate untouched.
+CoreReport testCoreResilient(Soc& soc, std::unique_ptr<SessionChannel>& ch,
+                             const CorePlan& entry, SessionObserver* observer,
+                             std::mutex& observer_mu) {
+  int failures = 0;
+  for (;;) {
+    if (ch == nullptr) ch = std::make_unique<SessionChannel>(soc, entry.tam);
+    try {
+      CoreReport r = ch->testCore(entry, observer, observer_mu);
+      r.channel_failures = failures;
+      return r;
+    } catch (const SessionChannelError&) {
+      ++failures;
+      // The replica TAP/TAM state behind a failed channel is suspect;
+      // reopening rebuilds it from the SoC, like respawning a dead worker.
+      ch.reset();
+      const bool will_retry = failures <= entry.max_shard_retries;
+      if (observer != nullptr) {
+        const std::lock_guard<std::mutex> lock(observer_mu);
+        observer->onChannelFailure(entry.core_index, failures, will_retry);
+      }
+      if (will_retry) {
+        if (entry.backoff_base_ms > 0) {
+          const int shift = std::min(failures - 1, 20);
+          failpointSleepMs(std::min<std::int64_t>(
+              static_cast<std::int64_t>(entry.backoff_base_ms) << shift, 250));
+        }
+        continue;
+      }
+      if (!entry.degrade_on_failure.value_or(true)) throw;
+      CoreReport q;
+      q.core_index = entry.core_index;
+      q.core_name = soc.core(entry.core_index).name();
+      q.tam = entry.tam;
+      q.depth = soc.topology(entry.core_index).depth();
+      q.patterns = entry.patterns;
+      q.verdict = CoreVerdict::kQuarantined;
+      q.channel_failures = failures;
+      if (observer != nullptr) {
+        const std::lock_guard<std::mutex> lock(observer_mu);
+        observer->onCoreQuarantined(entry.core_index, failures);
+      }
+      return q;
+    }
+  }
+}
+
 }  // namespace
 
 SessionReport SocTestScheduler::run(const TestPlan& plan) {
@@ -193,7 +255,8 @@ SessionReport SocTestScheduler::run(const TestPlan& plan) {
       if (ch == nullptr) {
         ch = std::make_unique<SessionChannel>(soc_, entries[i].tam);
       }
-      report.cores[i] = ch->testCore(entries[i], observer_, observer_mu);
+      report.cores[i] =
+          testCoreResilient(soc_, ch, entries[i], observer_, observer_mu);
     }
   } else {
     // Tree groups feed a worker pool; a worker claims the first unclaimed
@@ -239,8 +302,8 @@ SessionReport SocTestScheduler::run(const TestPlan& plan) {
               ch = std::make_unique<SessionChannel>(soc_, group.tam);
             }
             for (const std::size_t i : group.entry_idx) {
-              report.cores[i] =
-                  ch->testCore(entries[i], observer_, observer_mu);
+              report.cores[i] = testCoreResilient(soc_, ch, entries[i],
+                                                  observer_, observer_mu);
             }
             lock.lock();
           } catch (...) {

@@ -4,9 +4,39 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/failpoint.hpp"
 #include "fault/fault.hpp"
 
 namespace corebist {
+
+namespace {
+
+// Failpoint sites compiled into the session hot path (chaos testing and
+// the scheduler-quarantine suites). Context: index = core, seq = attempt
+// or poll ordinal. kError throws SessionChannelError — the structured
+// infrastructure failure the scheduler knows how to retry — and kDelay
+// stalls the protocol; other kinds make no sense here and are ignored.
+constexpr const char* kFpChannelAttempt = "channel.attempt";
+constexpr const char* kFpChannelPoll = "channel.poll";
+
+void fireChannelSite(const char* site, int core_index, std::int64_t seq,
+                     int attempt) {
+  if (!failpointsArmed()) return;
+  const auto a = failpointFire(site, core_index, seq);
+  if (!a) return;
+  if (a->kind == FailpointAction::Kind::kError) {
+    throw SessionChannelError(core_index, attempt,
+                              std::string("injected channel failure at ") +
+                                  site + " (seq " + std::to_string(seq) +
+                                  ")");
+  }
+  if (a->kind == FailpointAction::Kind::kDelay) {
+    failpointSleepMs(a->delay_ms +
+                     failpointJitterMs(*a, static_cast<std::uint64_t>(seq)));
+  }
+}
+
+}  // namespace
 
 SessionChannel::SessionChannel(Soc& soc, int tam_index)
     : soc_(soc),
@@ -46,6 +76,7 @@ CoreReport SessionChannel::testCore(const CorePlan& p,
   const std::size_t tck0 = tap_.tckCount();
 
   for (int attempt = 1; attempt <= 1 + p.max_retries; ++attempt) {
+    fireChannelSite(kFpChannelAttempt, p.core_index, attempt, attempt);
     notify(observer_mu, observer, [&](SessionObserver& o) {
       o.onCoreStart(p.core_index, attempt);
     });
@@ -67,6 +98,7 @@ CoreReport SessionChannel::testCore(const CorePlan& p,
     ate_.sendCommand(BistCommand::kSelectResult, P1500Ate::kStatusView);
     bool end_test = false;
     for (int poll = 0; poll < p.poll_budget && !end_test; ++poll) {
+      fireChannelSite(kFpChannelPoll, p.core_index, poll, attempt);
       const std::uint16_t status = ate_.readWdr();
       ++report.polls;
       end_test = (status & P1500Ate::kStatusEndTest) != 0;
@@ -118,11 +150,18 @@ void SessionChannel::measureCoverage(const WrappedCore& core,
     const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
     // Backend and worker count come from the resolved plan entry; the plan
     // default is one serial worker — the channel itself is the unit of
-    // parallelism — but big-module plans can opt into the threaded or
-    // multi-process orchestrators per core.
-    const FaultSimResult r = core.engine().signatureCoverage(
-        m, u.faults, p.patterns, p.coverage_workers,
-        p.coverage_backend.value_or(FsimBackend::kSerial));
+    // parallelism — but big-module plans can opt into the threaded,
+    // multi-process or resilient orchestrators per core. The plan's
+    // resilience knobs ride along so kResilient probes inherit the same
+    // retry budget the scheduler applies to channels.
+    FsimBackendOptions bopts;
+    bopts.backend = p.coverage_backend.value_or(FsimBackend::kSerial);
+    bopts.num_workers = p.coverage_workers;
+    bopts.max_shard_retries = p.max_shard_retries >= 0 ? p.max_shard_retries : 2;
+    bopts.backoff_base_ms = p.backoff_base_ms >= 0 ? p.backoff_base_ms : 1;
+    bopts.degrade_on_failure = p.degrade_on_failure.value_or(true);
+    const FaultSimResult r =
+        core.engine().signatureCoverage(m, u.faults, p.patterns, bopts);
     const double coverage = r.misrCoverage();
     report.modules[static_cast<std::size_t>(m)].coverage = coverage;
     if (coverage < p.coverage_target) report.coverage_met = false;

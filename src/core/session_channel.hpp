@@ -16,6 +16,8 @@
 #define COREBIST_CORE_SESSION_CHANNEL_HPP_
 
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "core/session_observer.hpp"
 #include "core/session_report.hpp"
@@ -26,6 +28,31 @@
 #include "tam/tam.hpp"
 
 namespace corebist {
+
+/// Structured failure of the test-access infrastructure under one core's
+/// session — the channel (replica TAP/TAM/ATE plumbing), not the core under
+/// test, is what failed. The scheduler treats it as recoverable: reopen a
+/// fresh channel, retry the core, and quarantine after the plan's retry
+/// budget (TestPlan::max_shard_retries) instead of failing the campaign.
+/// Raised today by the `channel.attempt` / `channel.poll` failpoint sites
+/// (chaos testing); a real flaky-fixture transport would throw it from the
+/// same places.
+class SessionChannelError : public std::runtime_error {
+ public:
+  SessionChannelError(int core_index, int attempt, const std::string& detail)
+      : std::runtime_error("SessionChannel: core " +
+                           std::to_string(core_index) + ": " + detail),
+        core_index_(core_index),
+        attempt_(attempt) {}
+
+  [[nodiscard]] int coreIndex() const noexcept { return core_index_; }
+  /// Protocol attempt (1-based) the channel failed on.
+  [[nodiscard]] int attempt() const noexcept { return attempt_; }
+
+ private:
+  int core_index_;
+  int attempt_;
+};
 
 class SessionChannel {
  public:

@@ -23,6 +23,15 @@ class SessionObserver {
   virtual void onCoreStart(int /*core_index*/, int /*attempt*/) {}
   virtual void onCoreTimeout(int /*core_index*/, int /*attempt*/,
                              bool /*will_retry*/) {}
+  /// The core's session channel failed (`failures` so far, 1-based). When
+  /// `will_retry` the scheduler reopens a fresh channel and re-runs the
+  /// core; otherwise the core is about to be quarantined (or the error
+  /// rethrown, when the plan disables degradation).
+  virtual void onChannelFailure(int /*core_index*/, int /*failures*/,
+                                bool /*will_retry*/) {}
+  /// The core exhausted its channel retry budget and was excluded from the
+  /// campaign with CoreVerdict::kQuarantined.
+  virtual void onCoreQuarantined(int /*core_index*/, int /*failures*/) {}
   virtual void onCoreFinish(const CoreReport& /*report*/) {}
   virtual void onCampaignFinish(const SessionReport& /*report*/) {}
 };
@@ -45,6 +54,15 @@ class StreamObserver final : public SessionObserver {
   void onCoreTimeout(int core_index, int attempt, bool will_retry) override {
     std::fprintf(out_, "[core %d] attempt %d timed out%s\n", core_index,
                  attempt, will_retry ? ", retrying" : "");
+  }
+  void onChannelFailure(int core_index, int failures,
+                        bool will_retry) override {
+    std::fprintf(out_, "[core %d] channel failure %d%s\n", core_index,
+                 failures, will_retry ? ", reopening channel" : "");
+  }
+  void onCoreQuarantined(int core_index, int failures) override {
+    std::fprintf(out_, "[core %d] QUARANTINED after %d channel failure(s)\n",
+                 core_index, failures);
   }
   void onCoreFinish(const CoreReport& report) override {
     std::fprintf(out_, "[core %d] %s\n", report.core_index,

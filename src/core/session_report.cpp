@@ -47,6 +47,8 @@ std::string_view coreVerdictName(CoreVerdict v) {
       return "signature_mismatch";
     case CoreVerdict::kTimeout:
       return "timeout";
+    case CoreVerdict::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -58,6 +60,9 @@ std::string CoreReport::summary() const {
   os << ": ";
   if (pass()) {
     os << "PASS";
+  } else if (verdict == CoreVerdict::kQuarantined) {
+    os << "QUARANTINED after " << channel_failures << " channel failure(s)";
+    return os.str();
   } else if (verdict == CoreVerdict::kTimeout) {
     os << "TIMEOUT after " << attempts << " attempt(s)";
   } else if (verdict == CoreVerdict::kSignatureMismatch) {
@@ -123,8 +128,23 @@ void writeCore(std::ostringstream& os, const CoreReport& c,
      << jsonEscaped(c.core_name) << "\", \"tam\": " << c.tam
      << ", \"depth\": " << c.depth << ", \"verdict\": \""
      << jsonEscaped(coreVerdictName(c.verdict))
-     << "\", \"pass\": " << (c.pass() ? "true" : "false")
-     << ", \"end_test_seen\": " << (c.end_test_seen ? "true" : "false")
+     << "\", \"pass\": " << (c.pass() ? "true" : "false");
+  if (c.verdict == CoreVerdict::kQuarantined) {
+    // The core was never conclusively tested: identity + verdict only.
+    // channel_failures depends on where the infrastructure broke, so it is
+    // timing-gated (out of the fingerprint), like utilization.
+    if (include_timing) {
+      os << ", \"channel_failures\": " << c.channel_failures;
+      std::snprintf(buf, sizeof buf, ", \"seconds\": %.4f", c.seconds);
+      os << buf;
+    }
+    os << ", \"modules\": []}";
+    return;
+  }
+  if (include_timing && c.channel_failures > 0) {
+    os << ", \"channel_failures\": " << c.channel_failures;
+  }
+  os << ", \"end_test_seen\": " << (c.end_test_seen ? "true" : "false")
      << ", \"patterns\": " << c.patterns << ", \"attempts\": " << c.attempts
      << ", \"timeouts\": " << c.timeouts << ", \"polls\": " << c.polls
      << ", \"tap_clocks\": " << c.tap_clocks

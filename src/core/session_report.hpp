@@ -29,11 +29,16 @@ struct ModuleVerdict {
 
 /// How a core's test concluded. kTimeout means end_test was never observed
 /// within the plan's poll budget (on any attempt) — the signatures were
-/// never uploaded and the modules list is empty.
+/// never uploaded and the modules list is empty. kQuarantined means the
+/// core's session *channel* kept failing past the plan's retry budget
+/// (TestPlan::max_shard_retries) and the scheduler excluded the core to
+/// protect the campaign — the core itself was never conclusively tested,
+/// so its record carries identity and `channel_failures` only.
 enum class CoreVerdict : std::uint8_t {
   kPass,
   kSignatureMismatch,
   kTimeout,
+  kQuarantined,
 };
 
 [[nodiscard]] std::string_view coreVerdictName(CoreVerdict v);
@@ -62,6 +67,12 @@ struct CoreReport {
   double seconds = 0.0;         // wall time (excluded from fingerprints)
   double coverage_target = 0.0;  // 0 = no target requested
   bool coverage_met = true;      // false only when a target was missed
+  /// Session-channel failures this core survived (transient) or succumbed
+  /// to (kQuarantined). How often infrastructure fails is an execution
+  /// artifact like utilization, so fingerprints exclude it; a core that
+  /// recovered from transient channel failures fingerprints identically to
+  /// a never-failed run.
+  int channel_failures = 0;
   [[nodiscard]] bool pass() const noexcept {
     return verdict == CoreVerdict::kPass && coverage_met;
   }

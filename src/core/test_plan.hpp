@@ -50,6 +50,13 @@ struct CorePlan {
   std::optional<FsimBackend> coverage_backend;
   /// Orchestrator workers for coverage measurement; <= 0 => plan default.
   int coverage_workers = 0;
+  /// Channel-failure retries before this core is quarantined, and the
+  /// resilient coverage backend's shard retry budget; < 0 => plan default.
+  int max_shard_retries = -1;
+  /// Exponential-backoff base between channel retries; < 0 => plan default.
+  int backoff_base_ms = -1;
+  /// Unset inherits TestPlan::degrade_on_failure.
+  std::optional<bool> degrade_on_failure;
 };
 
 /// Cap on concurrent session channels for one TAM.
@@ -89,6 +96,19 @@ struct TestPlan {
   /// 0 => one per hardware thread.
   int coverage_workers = 1;
 
+  // ---- resilience (see src/core/README.md, "Quarantine") ----
+  /// Times a core's session channel may fail (SessionChannelError) and be
+  /// reopened before the scheduler stops retrying that core. Also the
+  /// per-shard retry budget of kResilient coverage probes.
+  int max_shard_retries = 2;
+  /// Exponential-backoff base between channel reopen attempts: retry k
+  /// sleeps min(backoff_base_ms << (k-1), 250) ms. <= 0 disables sleeping.
+  int backoff_base_ms = 1;
+  /// After the retry budget: true = record the core as `quarantined` and
+  /// continue the campaign (the default — one sick core tree degrades that
+  /// core, not the campaign); false = rethrow the channel error.
+  bool degrade_on_failure = true;
+
   /// Per-TAM overrides of channels_per_tam.
   std::vector<TamChannelLimit> tam_channels;
 
@@ -120,6 +140,13 @@ struct TestPlan {
   }
   TestPlan& withThreads(int threads) {
     num_threads = threads;
+    return *this;
+  }
+  TestPlan& withResilience(int shard_retries, int backoff_ms = 1,
+                           bool degrade = true) {
+    max_shard_retries = shard_retries;
+    backoff_base_ms = backoff_ms;
+    degrade_on_failure = degrade;
     return *this;
   }
   TestPlan& withChannelsPerTam(int channels) {

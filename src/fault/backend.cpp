@@ -6,6 +6,7 @@
 #include "fault/comb_fsim.hpp"
 #include "fault/parallel_fsim.hpp"
 #include "fault/process_fsim.hpp"
+#include "fault/resilient_fsim.hpp"
 
 namespace corebist {
 
@@ -17,6 +18,8 @@ const char* fsimBackendName(FsimBackend b) noexcept {
       return "threaded";
     case FsimBackend::kProcess:
       return "process";
+    case FsimBackend::kResilient:
+      return "resilient";
   }
   return "serial";
 }
@@ -25,6 +28,7 @@ FsimBackend parseFsimBackend(std::string_view name) {
   if (name == "serial") return FsimBackend::kSerial;
   if (name == "threaded") return FsimBackend::kThreaded;
   if (name == "process") return FsimBackend::kProcess;
+  if (name == "resilient") return FsimBackend::kResilient;
   throw std::invalid_argument("unknown fsim backend: " + std::string(name));
 }
 
@@ -45,6 +49,17 @@ std::unique_ptr<FaultSim> makeOrchestrator(const FaultSim& prototype,
       p.shard_faults = opts.shard_faults;
       p.timeout_ms = opts.timeout_ms;
       return std::make_unique<ProcessFaultSim>(prototype, p);
+    }
+    case FsimBackend::kResilient: {
+      ResilientFsimOptions r;
+      r.num_workers = opts.num_workers;
+      r.shard_faults = opts.shard_faults;
+      r.timeout_ms = opts.timeout_ms;
+      r.max_shard_retries = opts.max_shard_retries;
+      r.backoff_base_ms = opts.backoff_base_ms;
+      r.deadline_ms = opts.deadline_ms;
+      r.degrade_on_failure = opts.degrade_on_failure;
+      return std::make_unique<ResilientFaultSim>(prototype, r);
     }
   }
   return prototype.clone();

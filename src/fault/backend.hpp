@@ -4,9 +4,12 @@
 // grading, the SoC scheduler's coverage probes, the benches) picks its
 // execution backend per campaign instead of hard-coding an engine class:
 //
-//   kSerial   - the prototype engine itself (one process, one thread)
-//   kThreaded - ParallelFaultSim fault sharding across worker threads
-//   kProcess  - ProcessFaultSim fault sharding across forked processes
+//   kSerial    - the prototype engine itself (one process, one thread)
+//   kThreaded  - ParallelFaultSim fault sharding across worker threads
+//   kProcess   - ProcessFaultSim fault sharding across forked processes
+//   kResilient - ResilientFaultSim: the process protocol under a
+//                supervisor with shard retry/backoff and a degradation
+//                ladder (process -> threaded -> serial)
 //
 // Orthogonally, makeCombFaultSim() picks the lane width of the PPSFP kernel
 // (64/128/256/512 pattern lanes per pass) at runtime from the same options
@@ -28,10 +31,11 @@ enum class FsimBackend {
   kSerial,
   kThreaded,
   kProcess,
+  kResilient,
 };
 
-/// Stable lowercase name ("serial" / "threaded" / "process"); used in bench
-/// JSON rows and CLI flags.
+/// Stable lowercase name ("serial" / "threaded" / "process" /
+/// "resilient"); used in bench JSON rows and CLI flags.
 [[nodiscard]] const char* fsimBackendName(FsimBackend b) noexcept;
 
 /// Inverse of fsimBackendName; throws std::invalid_argument on unknown
@@ -48,8 +52,19 @@ struct FsimBackendOptions {
   int num_workers = 0;
   /// Faults per work unit for the orchestrated backends.
   int shard_faults = 63;
-  /// Worker-hang watchdog for kProcess (ProcessFsimOptions::timeout_ms).
+  /// Worker-hang watchdog for kProcess / kResilient (per-shard monotonic
+  /// deadline; see ProcessFsimOptions::timeout_ms).
   int timeout_ms = 120'000;
+  /// kResilient only: re-dispatches one shard gets before the supervisor
+  /// leaves the process rung (ResilientFsimOptions::max_shard_retries).
+  int max_shard_retries = 3;
+  /// kResilient only: exponential-backoff base before a worker respawn.
+  int backoff_base_ms = 1;
+  /// kResilient only: overall retry deadline budget in ms (0 = unbounded).
+  int deadline_ms = 0;
+  /// kResilient only: after the retry budget, step down the ladder
+  /// (process -> threaded -> serial) instead of throwing.
+  bool degrade_on_failure = true;
 };
 
 /// Combinational (full-scan) engine of the requested lane width, wrapped in

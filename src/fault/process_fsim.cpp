@@ -1,310 +1,21 @@
 #include "fault/process_fsim.hpp"
 
-#include <poll.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <time.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <csignal>
-#include <cstring>
-#include <mutex>
 #include <numeric>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "fault/failpoint.hpp"
+#include "fault/process_wire.hpp"
+
 namespace corebist {
+
+namespace w = fsimwire;
+
 namespace {
-
-// ---- wire protocol -------------------------------------------------------
-//
-// Every message is {u32 magic, u32 kind_or_status, u32 payload_bytes}
-// followed by the payload. Both ends are forks of the same binary, so POD
-// fields are memcpy'd without cross-ABI concern; the framing exists so a
-// remote transport can substitute real encoders behind the same shapes.
-
-constexpr std::uint32_t kReqMagic = 0xC0B15701u;
-constexpr std::uint32_t kRespMagic = 0xC0B15702u;
-constexpr std::uint32_t kMsgShard = 1;
-constexpr std::uint32_t kMsgShutdown = 2;
-constexpr std::uint32_t kStatusOk = 0;
-constexpr std::uint32_t kStatusEngineError = 1;
-
-bool writeAll(int fd, const void* buf, std::size_t n) {
-  const char* p = static_cast<const char*>(buf);
-  while (n > 0) {
-    const ssize_t k = ::write(fd, p, n);
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += k;
-    n -= static_cast<std::size_t>(k);
-  }
-  return true;
-}
-
-bool readAll(int fd, void* buf, std::size_t n) {
-  char* p = static_cast<char*>(buf);
-  while (n > 0) {
-    const ssize_t k = ::read(fd, p, n);
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (k == 0) return false;  // EOF: peer died
-    p += k;
-    n -= static_cast<std::size_t>(k);
-  }
-  return true;
-}
-
-template <typename T>
-void putPod(std::vector<std::uint8_t>& b, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  b.insert(b.end(), p, p + sizeof(T));
-}
-
-void putBytes(std::vector<std::uint8_t>& b, const void* p, std::size_t n) {
-  const auto* q = static_cast<const std::uint8_t*>(p);
-  b.insert(b.end(), q, q + n);
-}
-
-/// Bounds-checked payload reader; `ok` latches false on any overrun so a
-/// truncated payload parses to garbage-free defaults instead of OOB reads.
-struct Cursor {
-  const std::uint8_t* p;
-  const std::uint8_t* end;
-  bool ok = true;
-
-  template <typename T>
-  T get() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T v{};
-    if (!ok || static_cast<std::size_t>(end - p) < sizeof(T)) {
-      ok = false;
-      return v;
-    }
-    std::memcpy(&v, p, sizeof(T));
-    p += sizeof(T);
-    return v;
-  }
-
-  bool getBytes(void* dst, std::size_t n) {
-    if (!ok || static_cast<std::size_t>(end - p) < n) {
-      ok = false;
-      return false;
-    }
-    std::memcpy(dst, p, n);
-    p += n;
-    return true;
-  }
-};
-
-/// The per-shard varying slice of FaultSimOptions that crosses the wire.
-struct WireOptions {
-  std::int32_t cycles = 0;
-  std::int32_t windows = 0;
-  std::int32_t record_detections = 0;
-  std::uint8_t drop_detected = 0;
-  std::uint8_t has_misr = 0;
-  std::uint8_t has_launch = 0;
-};
-
-void serializeShardRequest(std::vector<std::uint8_t>& out,
-                           std::uint32_t shard_id, const WireOptions& wopts,
-                           std::span<const Fault> shard_faults) {
-  out.clear();
-  putPod(out, kReqMagic);
-  putPod(out, kMsgShard);
-  putPod(out, std::uint32_t{0});  // payload size backpatched below
-  putPod(out, shard_id);
-  putPod(out, wopts.cycles);
-  putPod(out, wopts.windows);
-  putPod(out, wopts.record_detections);
-  putPod(out, wopts.drop_detected);
-  putPod(out, wopts.has_misr);
-  putPod(out, wopts.has_launch);
-  putPod(out, static_cast<std::uint32_t>(shard_faults.size()));
-  for (const Fault& f : shard_faults) {
-    putPod(out, static_cast<std::uint32_t>(f.net));
-    putPod(out, static_cast<std::uint32_t>(f.gate));
-    putPod(out, f.pin);
-    putPod(out, static_cast<std::uint8_t>(f.kind));
-  }
-  const std::uint32_t payload = static_cast<std::uint32_t>(out.size() - 12);
-  std::memcpy(out.data() + 8, &payload, sizeof(payload));
-}
-
-void serializeResult(std::vector<std::uint8_t>& out, std::uint32_t shard_id,
-                     const FaultSimResult& sub, const FaultSimOptions& wopts) {
-  out.clear();
-  putPod(out, kRespMagic);
-  putPod(out, kStatusOk);
-  putPod(out, std::uint32_t{0});  // payload size backpatched below
-  putPod(out, shard_id);
-  const std::uint32_t n = static_cast<std::uint32_t>(sub.first_detect.size());
-  putPod(out, n);
-  putPod(out, static_cast<std::uint64_t>(sub.patterns_applied));
-  putBytes(out, sub.first_detect.data(),
-           sub.first_detect.size() * sizeof(std::int32_t));
-  const std::uint8_t has_window = wopts.windows > 0 ? 1 : 0;
-  const std::uint8_t has_misr = wopts.misr.has_value() ? 1 : 0;
-  const std::uint8_t has_record = wopts.record_detections > 0 ? 1 : 0;
-  putPod(out, has_window);
-  if (has_window != 0) {
-    putBytes(out, sub.window_mask.data(),
-             sub.window_mask.size() * sizeof(std::uint64_t));
-  }
-  putPod(out, has_misr);
-  if (has_misr != 0) putBytes(out, sub.misr_detect.data(), sub.misr_detect.size());
-  putPod(out, static_cast<std::uint32_t>(sub.sig_words_per_fault));
-  if (sub.sig_words_per_fault > 0) {
-    putBytes(out, sub.window_sig.data(),
-             sub.window_sig.size() * sizeof(std::uint64_t));
-  }
-  putPod(out, has_record);
-  if (has_record != 0) {
-    for (const auto& list : sub.detect_patterns) {
-      putPod(out, static_cast<std::uint32_t>(list.size()));
-      putBytes(out, list.data(), list.size() * sizeof(std::uint32_t));
-    }
-  }
-  const std::uint32_t payload = static_cast<std::uint32_t>(out.size() - 12);
-  std::memcpy(out.data() + 8, &payload, sizeof(payload));
-}
-
-void serializeEngineError(std::vector<std::uint8_t>& out, const char* what) {
-  out.clear();
-  putPod(out, kRespMagic);
-  putPod(out, kStatusEngineError);
-  const std::size_t len = std::strlen(what);
-  putPod(out, static_cast<std::uint32_t>(len));
-  putBytes(out, what, len);
-}
-
-// ---- worker side ---------------------------------------------------------
-
-/// Request/grade/respond loop of one forked worker. Immutable campaign
-/// state (netlist, pattern sources, MISR spec, observe set) is already in
-/// this process via the fork snapshot; only shards and scalar options
-/// arrive over the pipe. Never returns: _exit(0) on shutdown, _exit(1) on
-/// any protocol violation (the parent turns the EOF into a structured
-/// error). _exit skips atexit/sanitizer teardown, which is exactly right
-/// for a fork without exec.
-[[noreturn]] void workerMain(int req_fd, int resp_fd, const FaultSim& proto,
-                             const PatternSource& patterns,
-                             const FaultSimOptions& base, int index,
-                             const ProcessFsimOptions& popts) {
-  std::unique_ptr<FaultSim> engine;  // cloned on first shard (private scratch)
-  std::vector<std::uint8_t> buf;
-  std::vector<std::uint8_t> out;
-  std::vector<Fault> shard_faults;
-  bool first_shard = true;
-  for (;;) {
-    std::uint32_t hdr[3];
-    if (!readAll(req_fd, hdr, sizeof hdr)) _exit(1);
-    if (hdr[0] != kReqMagic) _exit(1);
-    if (hdr[1] == kMsgShutdown) _exit(0);
-    if (hdr[1] != kMsgShard) _exit(1);
-    buf.resize(hdr[2]);
-    if (!readAll(req_fd, buf.data(), buf.size())) _exit(1);
-    if (first_shard) {
-      first_shard = false;
-      if (index == popts.inject_crash_worker) _exit(42);
-      if (index == popts.inject_hang_worker) {
-        for (;;) pause();
-      }
-    }
-
-    Cursor c{buf.data(), buf.data() + buf.size()};
-    const auto shard_id = c.get<std::uint32_t>();
-    WireOptions w;
-    w.cycles = c.get<std::int32_t>();
-    w.windows = c.get<std::int32_t>();
-    w.record_detections = c.get<std::int32_t>();
-    w.drop_detected = c.get<std::uint8_t>();
-    w.has_misr = c.get<std::uint8_t>();
-    w.has_launch = c.get<std::uint8_t>();
-    const auto n_faults = c.get<std::uint32_t>();
-    shard_faults.clear();
-    shard_faults.reserve(n_faults);
-    for (std::uint32_t i = 0; i < n_faults; ++i) {
-      Fault f;
-      f.net = c.get<std::uint32_t>();
-      f.gate = c.get<std::uint32_t>();
-      f.pin = c.get<std::uint8_t>();
-      f.kind = static_cast<FaultKind>(c.get<std::uint8_t>());
-      shard_faults.push_back(f);
-    }
-    // Wire flags must agree with the fork-time snapshot the non-POD
-    // payloads ride on; a mismatch means frames desynchronized.
-    if (!c.ok || (w.has_misr != 0) != base.misr.has_value() ||
-        (w.has_launch != 0) != (base.launch != nullptr)) {
-      _exit(1);
-    }
-
-    FaultSimOptions wopts = base;
-    wopts.cycles = w.cycles;
-    wopts.prepass_cycles = 0;  // the stage ladder lives in the parent
-    wopts.num_threads = 1;     // no nested threading inside a worker
-    wopts.stall_blocks = 0;    // shard-local stalls would change results
-    wopts.drop_detected = w.drop_detected != 0;
-    wopts.windows = w.windows;
-    wopts.record_detections = w.record_detections;
-
-    if (engine == nullptr) engine = proto.clone();
-    try {
-      const FaultSimResult sub = engine->run(shard_faults, patterns, wopts);
-      serializeResult(out, shard_id, sub, wopts);
-    } catch (const std::exception& e) {
-      serializeEngineError(out, e.what());
-    }
-    if (!writeAll(resp_fd, out.data(), out.size())) _exit(1);
-  }
-}
-
-// ---- parent side ---------------------------------------------------------
-
-struct Worker {
-  pid_t pid = -1;
-  int req_fd = -1;
-  int resp_fd = -1;
-  std::int64_t shard = -1;  // shard in flight, -1 when idle
-};
-
-void closeWorkerFds(Worker& w) {
-  if (w.req_fd >= 0) ::close(w.req_fd);
-  if (w.resp_fd >= 0) ::close(w.resp_fd);
-  w.req_fd = w.resp_fd = -1;
-}
-
-/// Reap one child without risking a parent hang: poll with WNOHANG until
-/// `grace_ms` expires, then SIGKILL and reap for certain. Returns the raw
-/// wait status (or -1 if the child had to be killed here).
-int reapWithGrace(pid_t pid, int grace_ms) {
-  const int step_ms = 2;
-  int waited = 0;
-  for (;;) {
-    int st = 0;
-    const pid_t r = ::waitpid(pid, &st, WNOHANG);
-    if (r == pid) return st;
-    if (r < 0 && errno != EINTR) return -1;  // already reaped / gone
-    if (grace_ms > 0 && waited >= grace_ms) {
-      ::kill(pid, SIGKILL);
-      while (::waitpid(pid, &st, 0) < 0 && errno == EINTR) {
-      }
-      return -1;
-    }
-    struct timespec ts {0, step_ms * 1'000'000};
-    ::nanosleep(&ts, nullptr);
-    waited += step_ms;
-  }
-}
-
+// A frame claiming a payload beyond this is corruption, not a real shard.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 }  // namespace
 
 ProcessFaultSim::ProcessFaultSim(const FaultSim& prototype,
@@ -324,117 +35,45 @@ std::unique_ptr<FaultSim> ProcessFaultSim::clone() const {
 FaultSimResult ProcessFaultSim::run(std::span<const Fault> faults,
                                     const PatternSource& patterns,
                                     const FaultSimOptions& opts) {
-  const int total_cycles =
-      opts.cycles > 0 ? opts.cycles : patterns.patternCount();
   int nworkers = popts_.num_workers > 0
                      ? popts_.num_workers
                      : static_cast<int>(std::thread::hardware_concurrency());
   if (nworkers < 1) nworkers = 1;
 
   FaultSimResult result;
-  result.total = faults.size();
-  result.first_detect.assign(faults.size(), -1);
-  result.patterns_applied = static_cast<std::size_t>(total_cycles);
-  const bool want_windows = opts.windows > 0;
-  const bool want_misr = opts.misr.has_value();
-  const bool want_record = opts.record_detections > 0;
-  if (want_windows) result.window_mask.assign(faults.size(), 0);
-  if (want_misr) result.misr_detect.assign(faults.size(), 0);
-  if (want_windows && want_misr) {
-    result.sig_words_per_fault = (opts.windows * opts.misr->width + 63) / 64;
-    result.window_sig.assign(
-        faults.size() * static_cast<std::size_t>(result.sig_words_per_fault),
-        0);
-  }
-  if (want_record) result.detect_patterns.assign(faults.size(), {});
+  const w::CampaignShape shape =
+      w::initCampaign(result, faults, patterns, opts);
   if (faults.empty()) return result;
-
-  // Same stage ladder as ParallelFaultSim: short stages retire the easy
-  // majority across all shards before anyone pays the full budget.
-  const bool full_length = want_windows || want_misr || want_record;
-  std::vector<int> stages;
-  if (!full_length && opts.drop_detected && opts.prepass_cycles > 0 &&
-      opts.prepass_cycles < total_cycles) {
-    for (int c = opts.prepass_cycles; c < total_cycles; c *= 4) {
-      stages.push_back(c);
-    }
-  }
-  stages.push_back(total_cycles);
 
   std::vector<std::uint32_t> live(faults.size());
   std::iota(live.begin(), live.end(), 0u);
   const std::size_t shard = static_cast<std::size_t>(popts_.shard_faults);
   const int sig_words = result.sig_words_per_fault;
 
-  // A worker dying mid-request-write must surface as EPIPE on the write,
-  // not as SIGPIPE killing the campaign (and the caller with it).
-  static std::once_flag sigpipe_once;
-  std::call_once(sigpipe_once, [] { std::signal(SIGPIPE, SIG_IGN); });
+  const w::ScopedSigpipeIgnore sigpipe_guard;
 
   const std::size_t first_shards = (live.size() + shard - 1) / shard;
   if (static_cast<std::size_t>(nworkers) > first_shards) {
     nworkers = static_cast<int>(first_shards);
   }
 
-  std::vector<Worker> workers(static_cast<std::size_t>(nworkers));
+  std::vector<w::Worker> workers(static_cast<std::size_t>(nworkers));
   for (int i = 0; i < nworkers; ++i) {
-    int req[2] = {-1, -1};
-    int resp[2] = {-1, -1};
-    if (::pipe(req) != 0 || ::pipe(resp) != 0) {
-      if (req[0] >= 0) ::close(req[0]);
-      if (req[1] >= 0) ::close(req[1]);
-      for (Worker& w : workers) {
-        if (w.pid > 0) {
-          ::kill(w.pid, SIGKILL);
-          reapWithGrace(w.pid, 0);
-        }
-        closeWorkerFds(w);
-      }
-      throw std::runtime_error("ProcessFaultSim: pipe() failed");
+    if (!w::spawnWorker(workers, static_cast<std::size_t>(i), *proto_,
+                        patterns, opts)) {
+      for (w::Worker& ww : workers) w::killWorker(ww);
+      throw std::runtime_error("ProcessFaultSim: pipe()/fork() failed");
     }
-    const pid_t pid = ::fork();
-    if (pid == 0) {
-      // Worker: keep only this worker's ends; inherited sibling fds would
-      // hold their pipes open past a sibling's death and mask the EOF.
-      ::close(req[1]);
-      ::close(resp[0]);
-      for (int j = 0; j < i; ++j) {
-        closeWorkerFds(workers[static_cast<std::size_t>(j)]);
-      }
-      workerMain(req[0], resp[1], *proto_, patterns, opts, i, popts_);
-    }
-    ::close(req[0]);
-    ::close(resp[1]);
-    if (pid < 0) {
-      ::close(req[1]);
-      ::close(resp[0]);
-      for (Worker& w : workers) {
-        if (w.pid > 0) {
-          ::kill(w.pid, SIGKILL);
-          reapWithGrace(w.pid, 0);
-        }
-        closeWorkerFds(w);
-      }
-      throw std::runtime_error("ProcessFaultSim: fork() failed");
-    }
-    workers[static_cast<std::size_t>(i)] =
-        Worker{pid, req[1], resp[0], -1};
   }
 
   std::size_t stage_done = 0;
   std::size_t stage_shards = 0;
   auto fail = [&](ProcessFsimError::Reason reason, int widx,
                   const std::string& detail) {
-    for (Worker& w : workers) {
-      if (w.pid > 0) ::kill(w.pid, SIGKILL);
+    for (w::Worker& ww : workers) {
+      if (ww.pid > 0) ::kill(ww.pid, SIGKILL);
     }
-    for (Worker& w : workers) {
-      if (w.pid > 0) {
-        reapWithGrace(w.pid, 0);
-        w.pid = -1;
-      }
-      closeWorkerFds(w);
-    }
+    for (w::Worker& ww : workers) w::killWorker(ww);
     std::size_t det = 0;
     for (const auto fd : result.first_detect) {
       if (fd >= 0) ++det;
@@ -445,26 +84,26 @@ FaultSimResult ProcessFaultSim::run(std::span<const Fault> faults,
 
   std::vector<std::uint8_t> msg;
   std::vector<std::uint8_t> payload;
-  for (const int stage_cycles : stages) {
+  for (const int stage_cycles : shape.stages) {
     if (live.empty()) break;
     const std::size_t nshards = (live.size() + shard - 1) / shard;
     stage_shards = nshards;
     stage_done = 0;
     std::size_t next = 0;
 
-    WireOptions wopts;
+    w::WireOptions wopts;
     wopts.cycles = stage_cycles;
     wopts.windows = opts.windows;
     wopts.record_detections = opts.record_detections;
     wopts.drop_detected = opts.drop_detected ? 1 : 0;
-    wopts.has_misr = want_misr ? 1 : 0;
+    wopts.has_misr = shape.want_misr ? 1 : 0;
     wopts.has_launch = opts.launch != nullptr ? 1 : 0;
 
     std::vector<Fault> shard_faults;
     auto sendNextShard = [&](int widx) {
-      Worker& w = workers[static_cast<std::size_t>(widx)];
+      w::Worker& wk = workers[static_cast<std::size_t>(widx)];
       if (next >= nshards) {
-        w.shard = -1;
+        wk.shard = -1;
         return;
       }
       const std::size_t s = next++;
@@ -474,14 +113,34 @@ FaultSimResult ProcessFaultSim::run(std::span<const Fault> faults,
       for (std::size_t k = lo; k < hi; ++k) {
         shard_faults.push_back(faults[live[k]]);
       }
-      serializeShardRequest(msg, static_cast<std::uint32_t>(s), wopts,
-                            shard_faults);
-      if (!writeAll(w.req_fd, msg.data(), msg.size())) {
+      // Parent-evaluated failure injections: worker-side actions are
+      // consumed HERE (in the arming process) and shipped inside the
+      // frame, so a retried dispatch of the same shard re-runs clean once
+      // the armed entry is spent. seq = stage-local shard index.
+      w::WireOptions wsend = wopts;
+      std::optional<FailpointAction> req_inject;
+      if (failpointsArmed()) {
+        if (const auto a = failpointFire(w::kFpWorkerShard, widx,
+                                         static_cast<std::int64_t>(s))) {
+          wsend.inject_shard = w::WireInject::from(*a);
+        }
+        if (const auto a = failpointFire(w::kFpWorkerReply, widx,
+                                         static_cast<std::int64_t>(s))) {
+          wsend.inject_reply = w::WireInject::from(*a);
+        }
+        req_inject = failpointFire(w::kFpRequestFrame, widx,
+                                   static_cast<std::int64_t>(s));
+      }
+      w::serializeShardRequest(msg, static_cast<std::uint32_t>(s), wsend,
+                               shard_faults);
+      if (!w::writeFrameInjected(wk.req_fd, msg,
+                                 req_inject ? &*req_inject : nullptr, s)) {
         fail(ProcessFsimError::Reason::kWorkerDied, widx,
              "shard request write failed (worker " + std::to_string(widx) +
                  " dead, EPIPE)");
       }
-      w.shard = static_cast<std::int64_t>(s);
+      wk.shard = static_cast<std::int64_t>(s);
+      wk.deadline = w::Deadline::after(popts_.timeout_ms);
     };
 
     for (int i = 0; i < nworkers; ++i) sendNextShard(i);
@@ -491,129 +150,105 @@ FaultSimResult ProcessFaultSim::run(std::span<const Fault> faults,
     while (stage_done < nshards) {
       pfds.clear();
       pidx.clear();
+      int wait_ms = -1;
       for (int i = 0; i < nworkers; ++i) {
-        const Worker& w = workers[static_cast<std::size_t>(i)];
-        if (w.shard >= 0) {
-          pfds.push_back(pollfd{w.resp_fd, POLLIN, 0});
+        const w::Worker& wk = workers[static_cast<std::size_t>(i)];
+        if (wk.shard >= 0) {
+          pfds.push_back(pollfd{wk.resp_fd, POLLIN, 0});
           pidx.push_back(i);
+          const int rem = wk.deadline.remainingMs();
+          if (rem >= 0) wait_ms = wait_ms < 0 ? rem : std::min(wait_ms, rem);
         }
       }
       if (pfds.empty()) {
         fail(ProcessFsimError::Reason::kProtocol, -1,
              "no shard in flight but stage incomplete");
       }
-      const int rc = ::poll(pfds.data(), pfds.size(),
-                            popts_.timeout_ms > 0 ? popts_.timeout_ms : -1);
+      const int rc = ::poll(pfds.data(), pfds.size(), wait_ms);
       if (rc < 0) {
         if (errno == EINTR) continue;
         fail(ProcessFsimError::Reason::kProtocol, -1, "poll() failed");
       }
       if (rc == 0) {
-        fail(ProcessFsimError::Reason::kTimeout, pidx.front(),
-             "no worker response within " +
-                 std::to_string(popts_.timeout_ms) +
-                 " ms (worker " + std::to_string(pidx.front()) +
-                 " and " + std::to_string(pidx.size() - 1) +
-                 " other(s) busy): campaign wedged");
+        // Watchdog: a busy worker's monotonic per-shard deadline expired
+        // (the deadline was armed at dispatch, so wakeups between partial
+        // progress cannot reset it).
+        for (const int i : pidx) {
+          if (workers[static_cast<std::size_t>(i)].deadline.expired()) {
+            fail(ProcessFsimError::Reason::kTimeout, i,
+                 "worker " + std::to_string(i) +
+                     " produced no complete response within " +
+                     std::to_string(popts_.timeout_ms) +
+                     " ms of dispatch: campaign wedged");
+          }
+        }
+        continue;  // spurious early wakeup; re-poll with fresh remaining
       }
       for (std::size_t k = 0; k < pfds.size(); ++k) {
         if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         const int widx = pidx[k];
-        Worker& w = workers[static_cast<std::size_t>(widx)];
-        std::uint32_t hdr[3];
-        if (!readAll(w.resp_fd, hdr, sizeof hdr)) {
+        w::Worker& wk = workers[static_cast<std::size_t>(widx)];
+        // The response fd is non-blocking: these reads poll against the
+        // worker's monotonic deadline, so a dribbled frame either
+        // completes in budget or fails as kTimeout.
+        std::uint32_t hdr[w::kHeaderWords];
+        auto mapIo = [&](w::IoStatus st, const char* what) {
+          if (st == w::IoStatus::kOk) return;
+          if (st == w::IoStatus::kTimeout) {
+            fail(ProcessFsimError::Reason::kTimeout, widx,
+                 "worker " + std::to_string(widx) + " dribbled a " + what +
+                     " past the " + std::to_string(popts_.timeout_ms) +
+                     " ms deadline");
+          }
           fail(ProcessFsimError::Reason::kWorkerDied, widx,
                "worker " + std::to_string(widx) +
-                   " closed its response pipe mid-shard (crashed or "
-                   "killed)");
-        }
-        if (hdr[0] != kRespMagic) {
+                   " closed its response pipe mid-" + what +
+                   " (crashed or killed)");
+        };
+        mapIo(w::readAllDeadline(wk.resp_fd, hdr, sizeof hdr, wk.deadline),
+              "header");
+        if (hdr[0] != w::kRespMagic || hdr[2] > kMaxFrameBytes) {
           fail(ProcessFsimError::Reason::kProtocol, widx,
-               "bad response magic from worker " + std::to_string(widx));
+               "bad response framing from worker " + std::to_string(widx));
         }
         payload.resize(hdr[2]);
-        if (!readAll(w.resp_fd, payload.data(), payload.size())) {
-          fail(ProcessFsimError::Reason::kWorkerDied, widx,
-               "worker " + std::to_string(widx) +
-                   " died mid-response (truncated payload)");
+        mapIo(w::readAllDeadline(wk.resp_fd, payload.data(), payload.size(),
+                                 wk.deadline),
+              "payload");
+        if (w::fnv1a(payload.data(), payload.size()) != hdr[3]) {
+          fail(ProcessFsimError::Reason::kProtocol, widx,
+               "response payload checksum mismatch from worker " +
+                   std::to_string(widx) + " (corrupted frame)");
         }
-        if (hdr[1] == kStatusEngineError) {
+        if (hdr[1] == w::kStatusEngineError) {
           // The engine itself rejected the campaign (e.g. MISR on a comb
           // kernel): surface the serial engine's own error type, not a
           // process-layer failure.
           const std::string what(payload.begin(), payload.end());
-          for (Worker& ww : workers) {
+          for (w::Worker& ww : workers) {
             if (ww.pid > 0) ::kill(ww.pid, SIGKILL);
           }
-          for (Worker& ww : workers) {
-            if (ww.pid > 0) {
-              reapWithGrace(ww.pid, 0);
-              ww.pid = -1;
-            }
-            closeWorkerFds(ww);
-          }
+          for (w::Worker& ww : workers) w::killWorker(ww);
           throw std::invalid_argument(what);
         }
-        if (hdr[1] != kStatusOk) {
+        if (hdr[1] != w::kStatusOk) {
           fail(ProcessFsimError::Reason::kProtocol, widx,
                "unknown response status from worker " +
                    std::to_string(widx));
         }
 
-        Cursor c{payload.data(), payload.data() + payload.size()};
+        w::Cursor c{payload.data(), payload.data() + payload.size()};
         const auto shard_id = c.get<std::uint32_t>();
         const auto n = c.get<std::uint32_t>();
-        c.get<std::uint64_t>();  // worker patterns_applied (stage-local)
         const std::size_t lo = static_cast<std::size_t>(shard_id) * shard;
         const std::size_t hi = std::min(lo + shard, live.size());
-        if (shard_id != static_cast<std::uint32_t>(w.shard) ||
+        if (shard_id != static_cast<std::uint32_t>(wk.shard) ||
             n != hi - lo) {
           fail(ProcessFsimError::Reason::kProtocol, widx,
                "response shard mismatch from worker " +
                    std::to_string(widx));
         }
-        // Merge the slice; shards partition `live`, so rows are disjoint.
-        bool ok = true;
-        for (std::size_t j = 0; j < n && ok; ++j) {
-          result.first_detect[live[lo + j]] = c.get<std::int32_t>();
-        }
-        const auto has_window = c.get<std::uint8_t>();
-        if ((has_window != 0) != want_windows) ok = false;
-        if (ok && want_windows) {
-          for (std::size_t j = 0; j < n && ok; ++j) {
-            result.window_mask[live[lo + j]] = c.get<std::uint64_t>();
-          }
-        }
-        const auto has_misr = c.get<std::uint8_t>();
-        if ((has_misr != 0) != want_misr) ok = false;
-        if (ok && want_misr) {
-          for (std::size_t j = 0; j < n && ok; ++j) {
-            result.misr_detect[live[lo + j]] =
-                static_cast<char>(c.get<std::uint8_t>());
-          }
-        }
-        const auto sub_sig_words = c.get<std::uint32_t>();
-        if (static_cast<int>(sub_sig_words) != sig_words) ok = false;
-        if (ok && sig_words > 0) {
-          for (std::size_t j = 0; j < n && ok; ++j) {
-            ok = c.getBytes(
-                result.window_sig.data() +
-                    static_cast<std::size_t>(live[lo + j]) *
-                        static_cast<std::size_t>(sig_words),
-                static_cast<std::size_t>(sig_words) * sizeof(std::uint64_t));
-          }
-        }
-        const auto has_record = c.get<std::uint8_t>();
-        if ((has_record != 0) != want_record) ok = false;
-        if (ok && want_record) {
-          for (std::size_t j = 0; j < n && ok; ++j) {
-            const auto cnt = c.get<std::uint32_t>();
-            auto& list = result.detect_patterns[live[lo + j]];
-            list.resize(cnt);
-            ok = c.getBytes(list.data(), cnt * sizeof(std::uint32_t));
-          }
-        }
-        if (!ok || !c.ok) {
+        if (!w::mergeWirePayload(c, result, live, lo, n, shape, sig_words)) {
           fail(ProcessFsimError::Reason::kProtocol, widx,
                "malformed result payload from worker " +
                    std::to_string(widx));
@@ -623,7 +258,7 @@ FaultSimResult ProcessFaultSim::run(std::span<const Fault> faults,
       }
     }
 
-    if (stage_cycles == total_cycles) break;
+    if (stage_cycles == shape.total_cycles) break;
     std::vector<std::uint32_t> survivors;
     for (const std::uint32_t i : live) {
       if (result.first_detect[i] < 0) survivors.push_back(i);
@@ -635,18 +270,16 @@ FaultSimResult ProcessFaultSim::run(std::span<const Fault> faults,
   // (with a kill fallback bounded by timeout_ms, so even a pathologically
   // wedged worker cannot hang the parent here).
   std::vector<std::uint8_t> bye;
-  putPod(bye, kReqMagic);
-  putPod(bye, kMsgShutdown);
-  putPod(bye, std::uint32_t{0});
+  w::serializeShutdown(bye);
   int bad_worker = -1;
   int bad_status = 0;
   for (int i = 0; i < nworkers; ++i) {
-    Worker& w = workers[static_cast<std::size_t>(i)];
-    (void)writeAll(w.req_fd, bye.data(), bye.size());  // EPIPE => dead already
+    w::Worker& wk = workers[static_cast<std::size_t>(i)];
+    (void)w::writeAll(wk.req_fd, bye.data(), bye.size());  // EPIPE => dead
     const int grace = popts_.timeout_ms > 0 ? popts_.timeout_ms : 10'000;
-    const int st = reapWithGrace(w.pid, grace);
-    w.pid = -1;
-    closeWorkerFds(w);
+    const int st = w::reapWithGrace(wk.pid, grace);
+    wk.pid = -1;
+    w::closeWorkerFds(wk);
     if (bad_worker < 0 && (st < 0 || !WIFEXITED(st) || WEXITSTATUS(st) != 0)) {
       bad_worker = i;
       bad_status = st;

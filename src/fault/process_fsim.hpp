@@ -25,9 +25,18 @@
 // arena and page tables, so big-module campaigns sidestep the shared-heap
 // and page-cache contention that caps ParallelFaultSim in one address
 // space — and a crashed or wedged worker cannot take the campaign down.
-// The parent watches response pipes with a poll() timeout and turns worker
-// death or hangs into a structured ProcessFsimError (partial accounting,
-// every child killed and reaped — no hangs, no zombies).
+// The parent watches response pipes against per-shard monotonic deadlines
+// and turns worker death, hangs or corrupted frames (FNV-1a payload
+// checksums on every message) into a structured ProcessFsimError (partial
+// accounting, every child killed and reaped — no hangs, no zombies).
+//
+// Failure injection for tests and chaos CI lives in fault/failpoint.hpp:
+// the sites `process.worker.shard`, `process.worker.reply` and
+// `process.request.frame` are compiled into the dispatch path (evaluated
+// in the parent, shipped to workers inside the request frame) and cost one
+// relaxed atomic load when unarmed. ResilientFaultSim supervises this
+// orchestrator with retry/backoff and a degradation ladder
+// (fault/resilient_fsim.hpp).
 #ifndef COREBIST_FAULT_PROCESS_FSIM_HPP_
 #define COREBIST_FAULT_PROCESS_FSIM_HPP_
 
@@ -47,15 +56,12 @@ struct ProcessFsimOptions {
   /// Faults per work unit (same default as ParallelFsimOptions: one
   /// fault-parallel machine group of the sequential kernel).
   int shard_faults = 63;
-  /// Milliseconds the parent waits for *any* worker response before
-  /// declaring the campaign wedged and failing it (kTimeout). <= 0 waits
-  /// forever — only sensible under a debugger.
+  /// Milliseconds a dispatched shard has to come back as a *complete*
+  /// response, measured against a monotonic deadline armed at dispatch —
+  /// partial reads and poll() wakeups do not reset it, so a slow-dribbling
+  /// worker cannot evade the watchdog (kTimeout). <= 0 waits forever —
+  /// only sensible under a debugger.
   int timeout_ms = 120'000;
-  /// Test-only fault injection (regression coverage for the failure paths):
-  /// the worker with this index _exit()s (crash) or blocks forever (hang)
-  /// on receiving its first shard. -1 disables.
-  int inject_crash_worker = -1;
-  int inject_hang_worker = -1;
 };
 
 /// Structured failure of a multi-process campaign: a worker died (signal,

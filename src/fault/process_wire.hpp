@@ -1,0 +1,789 @@
+// Internal wire protocol + worker plumbing shared by the multi-process
+// fault-sim orchestrators (ProcessFaultSim and ResilientFaultSim).
+//
+// Not a public API: this header exists so the plain fork-shard orchestrator
+// and the self-healing one speak the exact same protocol — same frames,
+// same worker loop, same spawn/reap discipline — and so the worker-side
+// failure injections both need are carried *in the frames themselves*.
+//
+// Frame format. Every message is a 16-byte header
+//
+//   {u32 magic, u32 kind_or_status, u32 payload_bytes, u32 fnv1a(payload)}
+//
+// followed by the payload. Both ends are forks of the same binary, so POD
+// fields are memcpy'd without cross-ABI concern; the framing and the FNV-1a
+// payload checksum exist so transport corruption (a failpoint bit-flip
+// today, a flaky remote link tomorrow) is *detected* — a corrupted frame
+// surfaces as a structured protocol error, never as silently wrong grading
+// results.
+//
+// Failpoint transport. Worker-side injections ("kill worker N at shard K",
+// "stall the reply past the watchdog", "truncate/bit-flip the response")
+// are evaluated by the PARENT at dispatch time — consuming the armed
+// entry's hit budget in the parent's registry — and shipped to the worker
+// inside the shard request. A retried dispatch of the same shard therefore
+// re-runs clean once the entry is spent, which is what makes injected
+// failure schedules deterministic and retry convergence provable.
+//
+// Robustness contract (the pipe-I/O satellite of the resilience PR):
+//   * writeAll / readAll resume on EINTR and handle short transfers, so a
+//     dribbled or page-split frame reassembles transparently;
+//   * parent-side reads go through readAllDeadline() on a non-blocking fd
+//     against a monotonic deadline, so a worker dribbling bytes slower than
+//     the watchdog cannot evade it by resetting per-wakeup timers;
+//   * ScopedSigpipeIgnore keeps a worker dying mid-request-write an EPIPE
+//     (=> structured kWorkerDied), not a fatal SIGPIPE in the campaign
+//     parent; workers install SIG_IGN too, so a dead parent surfaces as a
+//     write error and a clean _exit.
+#ifndef COREBIST_FAULT_PROCESS_WIRE_HPP_
+#define COREBIST_FAULT_PROCESS_WIRE_HPP_
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <numeric>
+#include <type_traits>
+#include <vector>
+
+#include "fault/failpoint.hpp"
+#include "fault/fault_sim.hpp"
+
+namespace corebist::fsimwire {
+
+constexpr std::uint32_t kReqMagic = 0xC0B15701u;
+constexpr std::uint32_t kRespMagic = 0xC0B15702u;
+constexpr std::uint32_t kMsgShard = 1;
+constexpr std::uint32_t kMsgShutdown = 2;
+constexpr std::uint32_t kStatusOk = 0;
+constexpr std::uint32_t kStatusEngineError = 1;
+constexpr std::size_t kHeaderWords = 4;  // magic, kind, payload_bytes, fnv1a
+
+// Failpoint site names compiled into the orchestrators. process.* sites
+// pass FailpointContext{worker index, shard id}.
+inline constexpr const char* kFpWorkerShard = "process.worker.shard";
+inline constexpr const char* kFpWorkerReply = "process.worker.reply";
+inline constexpr const char* kFpRequestFrame = "process.request.frame";
+
+[[nodiscard]] inline std::uint32_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+// ---- raw I/O -------------------------------------------------------------
+
+inline bool writeAll(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::write(fd, p, n);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+inline bool readAll(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::read(fd, p, n);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;  // EOF: peer died
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+/// Monotonic deadline: the watchdog budget is measured from when it was
+/// armed, across any number of poll() wakeups, EINTRs and partial reads —
+/// a slow-dribbling peer cannot reset it.
+struct Deadline {
+  std::chrono::steady_clock::time_point at{};
+  bool unbounded = true;
+
+  [[nodiscard]] static Deadline after(int ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.unbounded = false;
+      d.at = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  /// Milliseconds left, clamped to >= 0; -1 when unbounded.
+  [[nodiscard]] int remainingMs() const {
+    if (unbounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    return left > 0x7FFFFFFF ? 0x7FFFFFFF : static_cast<int>(left);
+  }
+
+  [[nodiscard]] bool expired() const {
+    return !unbounded && remainingMs() == 0;
+  }
+};
+
+enum class IoStatus : std::uint8_t { kOk, kEof, kTimeout, kError };
+
+inline bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Read exactly `n` bytes from a non-blocking fd, polling against `dl`.
+/// Distinguishes peer death (kEof), watchdog expiry (kTimeout) and hard I/O
+/// errors (kError) so callers can map each to the right structured failure.
+inline IoStatus readAllDeadline(int fd, void* buf, std::size_t n,
+                                const Deadline& dl) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t k = ::read(fd, p, n);
+    if (k > 0) {
+      p += k;
+      n -= static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return IoStatus::kError;
+    const int rem = dl.remainingMs();
+    if (rem == 0) return IoStatus::kTimeout;
+    pollfd pf{fd, POLLIN, 0};
+    const int rc = ::poll(&pf, 1, rem);
+    if (rc < 0 && errno != EINTR) return IoStatus::kError;
+    if (rc == 0) return IoStatus::kTimeout;
+  }
+  return IoStatus::kOk;
+}
+
+/// SIGPIPE => SIG_IGN for the lifetime of one orchestrated run(), previous
+/// disposition restored on exit: a worker dying mid-request-write must
+/// surface as EPIPE on the write, not kill the campaign parent (and its
+/// caller) with an unhandled signal.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() {
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGPIPE, &sa, &prev_);
+  }
+  ~ScopedSigpipeIgnore() { ::sigaction(SIGPIPE, &prev_, nullptr); }
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore&) = delete;
+  ScopedSigpipeIgnore& operator=(const ScopedSigpipeIgnore&) = delete;
+
+ private:
+  struct sigaction prev_ = {};
+};
+
+// ---- serialization -------------------------------------------------------
+
+template <typename T>
+void putPod(std::vector<std::uint8_t>& b, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  b.insert(b.end(), p, p + sizeof(T));
+}
+
+inline void putBytes(std::vector<std::uint8_t>& b, const void* p,
+                     std::size_t n) {
+  const auto* q = static_cast<const std::uint8_t*>(p);
+  b.insert(b.end(), q, q + n);
+}
+
+/// Bounds-checked payload reader; `ok` latches false on any overrun so a
+/// truncated payload parses to garbage-free defaults instead of OOB reads.
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool ok = true;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    if (!ok || static_cast<std::size_t>(end - p) < sizeof(T)) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+  }
+
+  bool getBytes(void* dst, std::size_t n) {
+    if (!ok || static_cast<std::size_t>(end - p) < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, p, n);
+    p += n;
+    return true;
+  }
+};
+
+/// Backpatch payload size + checksum into a frame assembled as
+/// [16-byte header][payload].
+inline void sealFrame(std::vector<std::uint8_t>& frame) {
+  const std::size_t hdr = kHeaderWords * sizeof(std::uint32_t);
+  const std::uint32_t payload = static_cast<std::uint32_t>(frame.size() - hdr);
+  const std::uint32_t sum = fnv1a(frame.data() + hdr, payload);
+  std::memcpy(frame.data() + 8, &payload, sizeof(payload));
+  std::memcpy(frame.data() + 12, &sum, sizeof(sum));
+}
+
+/// Worker-side injected action carried inside a shard request (see the
+/// failpoint-transport note in the header comment).
+struct WireInject {
+  std::uint8_t kind = 0;  // FailpointAction::Kind
+  std::int32_t delay_ms = 0;
+  std::int32_t jitter_ms = 0;
+  std::uint64_t arg = 0;
+
+  [[nodiscard]] static WireInject from(const FailpointAction& a) {
+    return WireInject{static_cast<std::uint8_t>(a.kind), a.delay_ms,
+                      a.jitter_ms, a.arg};
+  }
+  [[nodiscard]] FailpointAction action() const {
+    FailpointAction a;
+    a.kind = static_cast<FailpointAction::Kind>(kind);
+    a.delay_ms = delay_ms;
+    a.jitter_ms = jitter_ms;
+    a.arg = arg;
+    return a;
+  }
+};
+
+/// The per-shard varying slice of FaultSimOptions that crosses the wire,
+/// plus the parent-evaluated failure injections for this dispatch.
+struct WireOptions {
+  std::int32_t cycles = 0;
+  std::int32_t windows = 0;
+  std::int32_t record_detections = 0;
+  std::uint8_t drop_detected = 0;
+  std::uint8_t has_misr = 0;
+  std::uint8_t has_launch = 0;
+  WireInject inject_shard;  // applied on shard receipt (crash/hang/delay)
+  WireInject inject_reply;  // applied around the response frame
+};
+
+inline void putInject(std::vector<std::uint8_t>& out, const WireInject& w) {
+  putPod(out, w.kind);
+  putPod(out, w.delay_ms);
+  putPod(out, w.jitter_ms);
+  putPod(out, w.arg);
+}
+
+inline WireInject getInject(Cursor& c) {
+  WireInject w;
+  w.kind = c.get<std::uint8_t>();
+  w.delay_ms = c.get<std::int32_t>();
+  w.jitter_ms = c.get<std::int32_t>();
+  w.arg = c.get<std::uint64_t>();
+  return w;
+}
+
+inline void serializeShardRequest(std::vector<std::uint8_t>& out,
+                                  std::uint32_t shard_id,
+                                  const WireOptions& wopts,
+                                  std::span<const Fault> shard_faults) {
+  out.clear();
+  putPod(out, kReqMagic);
+  putPod(out, kMsgShard);
+  putPod(out, std::uint32_t{0});  // payload size backpatched by sealFrame
+  putPod(out, std::uint32_t{0});  // checksum backpatched by sealFrame
+  putPod(out, shard_id);
+  putPod(out, wopts.cycles);
+  putPod(out, wopts.windows);
+  putPod(out, wopts.record_detections);
+  putPod(out, wopts.drop_detected);
+  putPod(out, wopts.has_misr);
+  putPod(out, wopts.has_launch);
+  putInject(out, wopts.inject_shard);
+  putInject(out, wopts.inject_reply);
+  putPod(out, static_cast<std::uint32_t>(shard_faults.size()));
+  for (const Fault& f : shard_faults) {
+    putPod(out, static_cast<std::uint32_t>(f.net));
+    putPod(out, static_cast<std::uint32_t>(f.gate));
+    putPod(out, f.pin);
+    putPod(out, static_cast<std::uint8_t>(f.kind));
+  }
+  sealFrame(out);
+}
+
+inline void serializeShutdown(std::vector<std::uint8_t>& out) {
+  out.clear();
+  putPod(out, kReqMagic);
+  putPod(out, kMsgShutdown);
+  putPod(out, std::uint32_t{0});
+  putPod(out, std::uint32_t{0});
+  sealFrame(out);
+}
+
+inline void serializeResult(std::vector<std::uint8_t>& out,
+                            std::uint32_t shard_id, const FaultSimResult& sub,
+                            const FaultSimOptions& wopts) {
+  out.clear();
+  putPod(out, kRespMagic);
+  putPod(out, kStatusOk);
+  putPod(out, std::uint32_t{0});
+  putPod(out, std::uint32_t{0});
+  putPod(out, shard_id);
+  const std::uint32_t n = static_cast<std::uint32_t>(sub.first_detect.size());
+  putPod(out, n);
+  putPod(out, static_cast<std::uint64_t>(sub.patterns_applied));
+  putBytes(out, sub.first_detect.data(),
+           sub.first_detect.size() * sizeof(std::int32_t));
+  const std::uint8_t has_window = wopts.windows > 0 ? 1 : 0;
+  const std::uint8_t has_misr = wopts.misr.has_value() ? 1 : 0;
+  const std::uint8_t has_record = wopts.record_detections > 0 ? 1 : 0;
+  putPod(out, has_window);
+  if (has_window != 0) {
+    putBytes(out, sub.window_mask.data(),
+             sub.window_mask.size() * sizeof(std::uint64_t));
+  }
+  putPod(out, has_misr);
+  if (has_misr != 0) {
+    putBytes(out, sub.misr_detect.data(), sub.misr_detect.size());
+  }
+  putPod(out, static_cast<std::uint32_t>(sub.sig_words_per_fault));
+  if (sub.sig_words_per_fault > 0) {
+    putBytes(out, sub.window_sig.data(),
+             sub.window_sig.size() * sizeof(std::uint64_t));
+  }
+  putPod(out, has_record);
+  if (has_record != 0) {
+    for (const auto& list : sub.detect_patterns) {
+      putPod(out, static_cast<std::uint32_t>(list.size()));
+      putBytes(out, list.data(), list.size() * sizeof(std::uint32_t));
+    }
+  }
+  sealFrame(out);
+}
+
+inline void serializeEngineError(std::vector<std::uint8_t>& out,
+                                 const char* what) {
+  out.clear();
+  putPod(out, kRespMagic);
+  putPod(out, kStatusEngineError);
+  putPod(out, std::uint32_t{0});
+  putPod(out, std::uint32_t{0});
+  putBytes(out, what, std::strlen(what));
+  sealFrame(out);
+}
+
+// ---- failpoint-aware frame writing ---------------------------------------
+
+/// Write `frame`, applying an optional injected data-plane action first:
+/// truncate (emit only `arg` bytes), bitflip (corrupt one bit — the FNV
+/// checksum turns this into a detected protocol error on the far side),
+/// shortwrite (dribble the frame in tiny partial writes — which the
+/// receiving readAll/readAllDeadline loops must reassemble transparently)
+/// or delay. Returns false on a hard write error (e.g. EPIPE: peer dead).
+inline bool writeFrameInjected(int fd, const std::vector<std::uint8_t>& frame,
+                               const FailpointAction* inject,
+                               std::uint64_t ordinal) {
+  using Kind = FailpointAction::Kind;
+  if (inject == nullptr || inject->kind == Kind::kOff) {
+    return writeAll(fd, frame.data(), frame.size());
+  }
+  switch (inject->kind) {
+    case Kind::kDelay:
+      failpointSleepMs(inject->delay_ms + failpointJitterMs(*inject, ordinal));
+      return writeAll(fd, frame.data(), frame.size());
+    case Kind::kTruncate: {
+      const std::size_t n =
+          std::min<std::size_t>(frame.size(), inject->arg);
+      return writeAll(fd, frame.data(), n);  // rest intentionally withheld
+    }
+    case Kind::kBitflip: {
+      std::vector<std::uint8_t> bad(frame);
+      const std::uint64_t bit = inject->arg % (bad.size() * 8);
+      bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      return writeAll(fd, bad.data(), bad.size());
+    }
+    case Kind::kShortWrite: {
+      // Dribble: 1 byte, then 7, then the rest, with small sleeps between —
+      // the far side's reassembly loops must make this invisible.
+      std::size_t off = 0;
+      for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                      frame.size()}) {
+        const std::size_t n = std::min(frame.size() - off, chunk);
+        if (n == 0) break;
+        if (!writeAll(fd, frame.data() + off, n)) return false;
+        off += n;
+        if (off < frame.size()) failpointSleepMs(1);
+      }
+      return true;
+    }
+    default:
+      return writeAll(fd, frame.data(), frame.size());
+  }
+}
+
+// ---- worker side ---------------------------------------------------------
+
+/// Request/grade/respond loop of one forked worker. Immutable campaign
+/// state (netlist, pattern sources, MISR spec, observe set) is already in
+/// this process via the fork snapshot; only shards, scalar options and the
+/// parent-evaluated failure injections arrive over the pipe. Never returns:
+/// _exit(0) on shutdown, _exit(1) on any protocol violation (the parent
+/// turns the EOF into a structured error), _exit(42) on an injected crash.
+/// _exit skips atexit/sanitizer teardown, which is exactly right for a fork
+/// without exec.
+[[noreturn]] inline void workerMain(int req_fd, int resp_fd,
+                                    const FaultSim& proto,
+                                    const PatternSource& patterns,
+                                    const FaultSimOptions& base) {
+  using Kind = FailpointAction::Kind;
+  // A dead parent must surface as EPIPE on the reply write (=> _exit(1)),
+  // not SIGPIPE; no restore — this process only ever _exit()s.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::unique_ptr<FaultSim> engine;  // cloned on first shard (private scratch)
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint8_t> out;
+  std::vector<Fault> shard_faults;
+  for (;;) {
+    std::uint32_t hdr[kHeaderWords];
+    if (!readAll(req_fd, hdr, sizeof hdr)) _exit(1);
+    if (hdr[0] != kReqMagic) _exit(1);
+    if (hdr[1] == kMsgShutdown) _exit(0);
+    if (hdr[1] != kMsgShard) _exit(1);
+    buf.resize(hdr[2]);
+    if (!readAll(req_fd, buf.data(), buf.size())) _exit(1);
+    // A corrupted request frame (injected bit-flip today, link noise in a
+    // remote transport tomorrow) must never grade garbage: die loudly and
+    // let the supervisor retry the shard on a fresh worker.
+    if (fnv1a(buf.data(), buf.size()) != hdr[3]) _exit(1);
+
+    Cursor c{buf.data(), buf.data() + buf.size()};
+    const auto shard_id = c.get<std::uint32_t>();
+    WireOptions w;
+    w.cycles = c.get<std::int32_t>();
+    w.windows = c.get<std::int32_t>();
+    w.record_detections = c.get<std::int32_t>();
+    w.drop_detected = c.get<std::uint8_t>();
+    w.has_misr = c.get<std::uint8_t>();
+    w.has_launch = c.get<std::uint8_t>();
+    w.inject_shard = getInject(c);
+    w.inject_reply = getInject(c);
+    const auto n_faults = c.get<std::uint32_t>();
+    shard_faults.clear();
+    shard_faults.reserve(n_faults);
+    for (std::uint32_t i = 0; i < n_faults; ++i) {
+      Fault f;
+      f.net = c.get<std::uint32_t>();
+      f.gate = c.get<std::uint32_t>();
+      f.pin = c.get<std::uint8_t>();
+      f.kind = static_cast<FaultKind>(c.get<std::uint8_t>());
+      shard_faults.push_back(f);
+    }
+    // Wire flags must agree with the fork-time snapshot the non-POD
+    // payloads ride on; a mismatch means frames desynchronized.
+    if (!c.ok || (w.has_misr != 0) != base.misr.has_value() ||
+        (w.has_launch != 0) != (base.launch != nullptr)) {
+      _exit(1);
+    }
+
+    // Injected receipt action ("kill worker N before shard K" / stall).
+    const FailpointAction on_shard = w.inject_shard.action();
+    switch (on_shard.kind) {
+      case Kind::kCrash:
+        _exit(42);
+      case Kind::kHang:
+        for (;;) pause();
+      case Kind::kDelay:
+        failpointSleepMs(on_shard.delay_ms +
+                         failpointJitterMs(on_shard, shard_id));
+        break;
+      default:
+        break;
+    }
+
+    FaultSimOptions wopts = base;
+    wopts.cycles = w.cycles;
+    wopts.prepass_cycles = 0;  // the stage ladder lives in the parent
+    wopts.num_threads = 1;     // no nested threading inside a worker
+    wopts.stall_blocks = 0;    // shard-local stalls would change results
+    wopts.drop_detected = w.drop_detected != 0;
+    wopts.windows = w.windows;
+    wopts.record_detections = w.record_detections;
+
+    if (engine == nullptr) engine = proto.clone();
+    try {
+      const FaultSimResult sub = engine->run(shard_faults, patterns, wopts);
+      serializeResult(out, shard_id, sub, wopts);
+    } catch (const std::exception& e) {
+      serializeEngineError(out, e.what());
+    }
+
+    // Injected reply action: stall, corrupt or die around the response.
+    const FailpointAction on_reply = w.inject_reply.action();
+    switch (on_reply.kind) {
+      case Kind::kHang:  // reply never comes; the watchdog must fire
+        for (;;) pause();
+      case Kind::kDelay:
+        failpointSleepMs(on_reply.delay_ms +
+                         failpointJitterMs(on_reply, shard_id));
+        break;
+      case Kind::kTruncate: {  // partial frame, then die: truncated payload
+        const std::size_t n = std::min<std::size_t>(out.size(), on_reply.arg);
+        (void)writeAll(resp_fd, out.data(), n);
+        _exit(1);
+      }
+      case Kind::kBitflip: {  // checksum/magic catches it on the far side
+        const std::uint64_t bit = on_reply.arg % (out.size() * 8);
+        out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        break;
+      }
+      default:
+        break;
+    }
+    if (!writeFrameInjected(resp_fd, out,
+                            on_reply.kind == Kind::kShortWrite ? &on_reply
+                                                               : nullptr,
+                            shard_id)) {
+      _exit(1);
+    }
+    if (on_reply.kind == Kind::kCrash) _exit(42);  // "after shard K"
+  }
+}
+
+// ---- parent side ---------------------------------------------------------
+
+struct Worker {
+  pid_t pid = -1;
+  int req_fd = -1;
+  int resp_fd = -1;
+  std::int64_t shard = -1;  // shard in flight, -1 when idle
+  Deadline deadline;        // watchdog for the in-flight shard
+};
+
+inline void closeWorkerFds(Worker& w) {
+  if (w.req_fd >= 0) ::close(w.req_fd);
+  if (w.resp_fd >= 0) ::close(w.resp_fd);
+  w.req_fd = w.resp_fd = -1;
+}
+
+/// Reap one child without risking a parent hang: poll with WNOHANG until
+/// `grace_ms` expires, then SIGKILL and reap for certain. Returns the raw
+/// wait status (or -1 if the child had to be killed here).
+inline int reapWithGrace(pid_t pid, int grace_ms) {
+  const int step_ms = 2;
+  int waited = 0;
+  for (;;) {
+    int st = 0;
+    const pid_t r = ::waitpid(pid, &st, WNOHANG);
+    if (r == pid) return st;
+    if (r < 0 && errno != EINTR) return -1;  // already reaped / gone
+    if (grace_ms > 0 && waited >= grace_ms) {
+      ::kill(pid, SIGKILL);
+      while (::waitpid(pid, &st, 0) < 0 && errno == EINTR) {
+      }
+      return -1;
+    }
+    struct timespec ts {0, step_ms * 1'000'000};
+    ::nanosleep(&ts, nullptr);
+    waited += step_ms;
+  }
+}
+
+/// SIGKILL + reap one worker and close its pipes (no-op when empty).
+inline void killWorker(Worker& w) {
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    reapWithGrace(w.pid, 0);
+    w.pid = -1;
+  }
+  closeWorkerFds(w);
+  w.shard = -1;
+}
+
+/// Fork worker `i` of the fleet: fresh pipes, sibling fds closed in the
+/// child (inherited sibling pipes would hold them open past a sibling's
+/// death and mask the EOF), parent's response end set non-blocking for
+/// deadline reads. Returns false on pipe()/fork() failure with nothing
+/// allocated; the caller owns fleet-level cleanup.
+inline bool spawnWorker(std::vector<Worker>& workers, std::size_t i,
+                        const FaultSim& proto, const PatternSource& patterns,
+                        const FaultSimOptions& base) {
+  int req[2] = {-1, -1};
+  int resp[2] = {-1, -1};
+  if (::pipe(req) != 0) return false;
+  if (::pipe(resp) != 0) {
+    ::close(req[0]);
+    ::close(req[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(req[1]);
+    ::close(resp[0]);
+    for (std::size_t j = 0; j < workers.size(); ++j) {
+      if (j != i) closeWorkerFds(workers[j]);
+    }
+    workerMain(req[0], resp[1], proto, patterns, base);
+  }
+  ::close(req[0]);
+  ::close(resp[1]);
+  if (pid < 0) {
+    ::close(req[1]);
+    ::close(resp[0]);
+    return false;
+  }
+  (void)setNonBlocking(resp[0]);
+  workers[i] = Worker{pid, req[1], resp[0], -1, Deadline{}};
+  return true;
+}
+
+// ---- shared campaign shape ----------------------------------------------
+
+/// Result-skeleton + stage-ladder setup shared by every fork-shard
+/// orchestrator (and mirrored by ParallelFaultSim): short stages retire the
+/// easy majority across all shards before anyone pays the full budget.
+struct CampaignShape {
+  int total_cycles = 0;
+  bool want_windows = false;
+  bool want_misr = false;
+  bool want_record = false;
+  std::vector<int> stages;
+};
+
+inline CampaignShape initCampaign(FaultSimResult& result,
+                                  std::span<const Fault> faults,
+                                  const PatternSource& patterns,
+                                  const FaultSimOptions& opts) {
+  CampaignShape shape;
+  shape.total_cycles = opts.cycles > 0 ? opts.cycles : patterns.patternCount();
+  shape.want_windows = opts.windows > 0;
+  shape.want_misr = opts.misr.has_value();
+  shape.want_record = opts.record_detections > 0;
+
+  result.total = faults.size();
+  result.first_detect.assign(faults.size(), -1);
+  result.patterns_applied = static_cast<std::size_t>(shape.total_cycles);
+  if (shape.want_windows) result.window_mask.assign(faults.size(), 0);
+  if (shape.want_misr) result.misr_detect.assign(faults.size(), 0);
+  if (shape.want_windows && shape.want_misr) {
+    result.sig_words_per_fault = (opts.windows * opts.misr->width + 63) / 64;
+    result.window_sig.assign(
+        faults.size() * static_cast<std::size_t>(result.sig_words_per_fault),
+        0);
+  }
+  if (shape.want_record) result.detect_patterns.assign(faults.size(), {});
+
+  const bool full_length =
+      shape.want_windows || shape.want_misr || shape.want_record;
+  if (!full_length && opts.drop_detected && opts.prepass_cycles > 0 &&
+      opts.prepass_cycles < shape.total_cycles) {
+    for (int c = opts.prepass_cycles; c < shape.total_cycles; c *= 4) {
+      shape.stages.push_back(c);
+    }
+  }
+  shape.stages.push_back(shape.total_cycles);
+  return shape;
+}
+
+/// Decode and merge one OK response payload's slice into `result`. The
+/// caller has consumed shard_id and the row count `n` (validated against
+/// the shard bounds); rows land on disjoint indices because shards
+/// partition `live`. Returns false on any malformed/truncated content.
+inline bool mergeWirePayload(Cursor& c, FaultSimResult& result,
+                             const std::vector<std::uint32_t>& live,
+                             std::size_t lo, std::size_t n,
+                             const CampaignShape& shape, int sig_words) {
+  c.get<std::uint64_t>();  // worker patterns_applied (stage-local)
+  bool ok = true;
+  for (std::size_t j = 0; j < n && ok; ++j) {
+    result.first_detect[live[lo + j]] = c.get<std::int32_t>();
+  }
+  const auto has_window = c.get<std::uint8_t>();
+  if ((has_window != 0) != shape.want_windows) ok = false;
+  if (ok && shape.want_windows) {
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      result.window_mask[live[lo + j]] = c.get<std::uint64_t>();
+    }
+  }
+  const auto has_misr = c.get<std::uint8_t>();
+  if ((has_misr != 0) != shape.want_misr) ok = false;
+  if (ok && shape.want_misr) {
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      result.misr_detect[live[lo + j]] =
+          static_cast<char>(c.get<std::uint8_t>());
+    }
+  }
+  const auto sub_sig_words = c.get<std::uint32_t>();
+  if (static_cast<int>(sub_sig_words) != sig_words) ok = false;
+  if (ok && sig_words > 0) {
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      ok = c.getBytes(
+          result.window_sig.data() +
+              static_cast<std::size_t>(live[lo + j]) *
+                  static_cast<std::size_t>(sig_words),
+          static_cast<std::size_t>(sig_words) * sizeof(std::uint64_t));
+    }
+  }
+  const auto has_record = c.get<std::uint8_t>();
+  if ((has_record != 0) != shape.want_record) ok = false;
+  if (ok && shape.want_record) {
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      const auto cnt = c.get<std::uint32_t>();
+      auto& list = result.detect_patterns[live[lo + j]];
+      list.resize(cnt);
+      ok = c.getBytes(list.data(), cnt * sizeof(std::uint32_t));
+    }
+  }
+  return ok && c.ok;
+}
+
+/// Merge an in-process sub-result (a degraded-rung shard graded on an
+/// engine clone) — the same disjoint-row merge ParallelFaultSim does.
+inline void mergeSubResult(FaultSimResult& result,
+                           const std::vector<std::uint32_t>& live,
+                           std::size_t lo, std::size_t hi,
+                           const FaultSimResult& sub,
+                           const CampaignShape& shape, int sig_words) {
+  for (std::size_t k = lo; k < hi; ++k) {
+    const std::uint32_t gi = live[k];
+    const std::size_t sk = k - lo;
+    result.first_detect[gi] = sub.first_detect[sk];
+    if (shape.want_windows) result.window_mask[gi] = sub.window_mask[sk];
+    if (shape.want_misr) result.misr_detect[gi] = sub.misr_detect[sk];
+    if (sig_words > 0) {
+      std::copy_n(sub.window_sig.begin() +
+                      static_cast<std::ptrdiff_t>(sk) * sig_words,
+                  sig_words,
+                  result.window_sig.begin() +
+                      static_cast<std::ptrdiff_t>(gi) * sig_words);
+    }
+    if (shape.want_record) {
+      result.detect_patterns[gi] = sub.detect_patterns[sk];
+    }
+  }
+}
+
+}  // namespace corebist::fsimwire
+
+#endif  // COREBIST_FAULT_PROCESS_WIRE_HPP_

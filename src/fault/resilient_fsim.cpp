@@ -1,0 +1,611 @@
+#include "fault/resilient_fsim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "fault/failpoint.hpp"
+#include "fault/process_fsim.hpp"
+#include "fault/process_wire.hpp"
+
+namespace corebist {
+
+namespace w = fsimwire;
+
+namespace {
+
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+constexpr int kRungProcess = 0;
+constexpr int kRungThreaded = 1;
+constexpr int kRungSerial = 2;
+
+// Failpoint site for ladder tests: arming `resilient.rung=error:index=1`
+// makes the threaded rung refuse, pushing degradation down to serial.
+constexpr const char* kFpResilientRung = "resilient.rung";
+
+void jsonEscapeTo(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* resilienceEventName(ResilienceEvent::Kind k) noexcept {
+  switch (k) {
+    case ResilienceEvent::Kind::kRetry:
+      return "retry";
+    case ResilienceEvent::Kind::kRespawn:
+      return "respawn";
+    case ResilienceEvent::Kind::kDegrade:
+      return "degrade";
+    case ResilienceEvent::Kind::kStrayShutdown:
+      return "stray_shutdown";
+  }
+  return "?";
+}
+
+const char* resilienceRungName(int rung) noexcept {
+  switch (rung) {
+    case kRungProcess:
+      return "process";
+    case kRungThreaded:
+      return "threaded";
+    case kRungSerial:
+      return "serial";
+    default:
+      return "?";
+  }
+}
+
+std::string ResilienceLog::toJson() const {
+  std::string out = "{";
+  out += "\"retries\":" + std::to_string(retries);
+  out += ",\"respawns\":" + std::to_string(respawns);
+  out += ",\"degradations\":" + std::to_string(degradations);
+  out += ",\"final_rung\":\"";
+  out += resilienceRungName(final_rung);
+  out += "\",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ResilienceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"";
+    out += resilienceEventName(e.kind);
+    out += "\",\"rung\":\"";
+    out += resilienceRungName(e.rung);
+    out += "\",\"worker\":" + std::to_string(e.worker);
+    out += ",\"shard\":" + std::to_string(e.shard);
+    out += ",\"stage_cycles\":" + std::to_string(e.stage_cycles);
+    out += ",\"attempt\":" + std::to_string(e.attempt);
+    out += ",\"backoff_ms\":" + std::to_string(e.backoff_ms);
+    out += ",\"detail\":\"";
+    jsonEscapeTo(out, e.detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+ResilientFaultSim::ResilientFaultSim(const FaultSim& prototype,
+                                     ResilientFsimOptions ropts)
+    : proto_(prototype.clone()), ropts_(ropts) {
+  if (ropts_.shard_faults < 1) ropts_.shard_faults = 63;
+  if (ropts_.max_shard_retries < 0) ropts_.max_shard_retries = 0;
+  if (ropts_.backoff_max_ms < ropts_.backoff_base_ms) {
+    ropts_.backoff_max_ms = ropts_.backoff_base_ms;
+  }
+}
+
+const Netlist& ResilientFaultSim::netlist() const noexcept {
+  return proto_->netlist();
+}
+
+std::unique_ptr<FaultSim> ResilientFaultSim::clone() const {
+  return std::make_unique<ResilientFaultSim>(*proto_, ropts_);
+}
+
+FaultSimResult ResilientFaultSim::run(std::span<const Fault> faults,
+                                      const PatternSource& patterns,
+                                      const FaultSimOptions& opts) {
+  log_ = ResilienceLog{};
+
+  int nworkers = ropts_.num_workers > 0
+                     ? ropts_.num_workers
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  if (nworkers < 1) nworkers = 1;
+
+  FaultSimResult result;
+  const w::CampaignShape shape =
+      w::initCampaign(result, faults, patterns, opts);
+  if (faults.empty()) return result;
+
+  std::vector<std::uint32_t> live(faults.size());
+  std::iota(live.begin(), live.end(), 0u);
+  const std::size_t shard = static_cast<std::size_t>(ropts_.shard_faults);
+  const int sig_words = result.sig_words_per_fault;
+
+  const w::ScopedSigpipeIgnore sigpipe_guard;
+  const w::Deadline campaign_dl = w::Deadline::after(ropts_.deadline_ms);
+
+  const std::size_t first_shards = (live.size() + shard - 1) / shard;
+  if (static_cast<std::size_t>(nworkers) > first_shards) {
+    nworkers = static_cast<int>(first_shards);
+  }
+
+  // Fleet slots are spawned lazily at dispatch and respawned after a
+  // failure; `slot_failed` distinguishes a first spawn from a respawn.
+  std::vector<w::Worker> workers(static_cast<std::size_t>(nworkers));
+  std::vector<char> slot_failed(static_cast<std::size_t>(nworkers), 0);
+  int rung = kRungProcess;
+  std::unique_ptr<FaultSim> serial_engine;  // lazily cloned serial floor
+
+  auto detectedSoFar = [&result] {
+    std::size_t det = 0;
+    for (const auto fd : result.first_detect) {
+      if (fd >= 0) ++det;
+    }
+    return det;
+  };
+  auto killFleet = [&workers] {
+    for (w::Worker& wk : workers) {
+      if (wk.pid > 0) ::kill(wk.pid, SIGKILL);
+    }
+    for (w::Worker& wk : workers) w::killWorker(wk);
+  };
+  auto stepDown = [&](int to_rung, const std::string& detail) {
+    log_.events.push_back(ResilienceEvent{ResilienceEvent::Kind::kDegrade,
+                                          to_rung, -1, -1, 0, 0, 0, detail});
+    ++log_.degradations;
+    rung = to_rung;
+    log_.final_rung = std::max(log_.final_rung, to_rung);
+  };
+
+  std::vector<std::uint8_t> msg;
+  std::vector<std::uint8_t> payload;
+  std::vector<Fault> shard_faults;
+
+  for (const int stage_cycles : shape.stages) {
+    if (live.empty()) break;
+    const std::size_t nshards = (live.size() + shard - 1) / shard;
+    std::vector<char> done(nshards, 0);
+    std::size_t ndone = 0;
+
+    auto shardBounds = [&](std::size_t s) {
+      const std::size_t lo = s * shard;
+      return std::pair<std::size_t, std::size_t>{
+          lo, std::min(lo + shard, live.size())};
+    };
+    auto collectShard = [&](std::size_t s) {
+      const auto [lo, hi] = shardBounds(s);
+      shard_faults.clear();
+      for (std::size_t k = lo; k < hi; ++k) {
+        shard_faults.push_back(faults[live[k]]);
+      }
+      return std::pair<std::size_t, std::size_t>{lo, hi};
+    };
+
+    if (rung == kRungProcess) {
+      std::deque<std::size_t> pending;
+      for (std::size_t s = 0; s < nshards; ++s) pending.push_back(s);
+      std::vector<int> attempts(nshards, 0);
+      bool degrade = false;
+      ProcessFsimError::Reason last_reason =
+          ProcessFsimError::Reason::kWorkerDied;
+      std::string last_detail;
+      int last_worker = -1;
+
+      w::WireOptions wopts;
+      wopts.cycles = stage_cycles;
+      wopts.windows = opts.windows;
+      wopts.record_detections = opts.record_detections;
+      wopts.drop_detected = opts.drop_detected ? 1 : 0;
+      wopts.has_misr = shape.want_misr ? 1 : 0;
+      wopts.has_launch = opts.launch != nullptr ? 1 : 0;
+
+      // Record the failure, requeue the shard and pay the backoff.
+      // Returns false when this shard's retry budget (or the campaign
+      // deadline) is exhausted and the stage must leave the process rung.
+      auto handleFailure = [&](int widx, std::size_t s,
+                               ProcessFsimError::Reason reason,
+                               const std::string& detail) {
+        w::killWorker(workers[static_cast<std::size_t>(widx)]);
+        slot_failed[static_cast<std::size_t>(widx)] = 1;
+        pending.push_front(s);
+        const int attempt = ++attempts[s];
+        last_reason = reason;
+        last_detail = detail;
+        last_worker = widx;
+        const bool budget_ok =
+            attempt <= ropts_.max_shard_retries && !campaign_dl.expired();
+        int backoff = 0;
+        if (budget_ok && ropts_.backoff_base_ms > 0) {
+          const int shift = std::min(attempt - 1, 20);
+          const std::int64_t raw =
+              static_cast<std::int64_t>(ropts_.backoff_base_ms) << shift;
+          backoff = static_cast<int>(std::min<std::int64_t>(
+              raw, static_cast<std::int64_t>(ropts_.backoff_max_ms)));
+        }
+        log_.events.push_back(ResilienceEvent{
+            ResilienceEvent::Kind::kRetry, kRungProcess, widx,
+            static_cast<std::int64_t>(s), stage_cycles, attempt, backoff,
+            detail});
+        ++log_.retries;
+        if (!budget_ok) return false;
+        if (backoff > 0) failpointSleepMs(backoff);
+        return true;
+      };
+
+      // Fill idle slots from the shard queue, (re)spawning workers as
+      // needed. Returns false when a failure exhausted the retry budget.
+      auto dispatch = [&] {
+        for (int i = 0; i < nworkers && !pending.empty(); ++i) {
+          w::Worker& wk = workers[static_cast<std::size_t>(i)];
+          if (wk.shard >= 0) continue;  // busy
+          const std::size_t s = pending.front();
+          pending.pop_front();
+          if (wk.pid <= 0) {
+            if (!w::spawnWorker(workers, static_cast<std::size_t>(i),
+                                *proto_, patterns, opts)) {
+              if (!handleFailure(i, s, ProcessFsimError::Reason::kWorkerDied,
+                                 "pipe()/fork() failed spawning worker " +
+                                     std::to_string(i))) {
+                return false;
+              }
+              continue;
+            }
+            if (slot_failed[static_cast<std::size_t>(i)] != 0) {
+              log_.events.push_back(ResilienceEvent{
+                  ResilienceEvent::Kind::kRespawn, kRungProcess, i,
+                  static_cast<std::int64_t>(s), stage_cycles, attempts[s], 0,
+                  "fresh worker forked into slot " + std::to_string(i)});
+              ++log_.respawns;
+            }
+          }
+          collectShard(s);
+          // Worker-side injections are consumed here, in the supervising
+          // process, and shipped inside the frame — so a re-dispatch of
+          // this shard runs clean once the armed entry is spent.
+          w::WireOptions wsend = wopts;
+          std::optional<FailpointAction> req_inject;
+          if (failpointsArmed()) {
+            if (const auto a = failpointFire(
+                    w::kFpWorkerShard, i, static_cast<std::int64_t>(s))) {
+              wsend.inject_shard = w::WireInject::from(*a);
+            }
+            if (const auto a = failpointFire(
+                    w::kFpWorkerReply, i, static_cast<std::int64_t>(s))) {
+              wsend.inject_reply = w::WireInject::from(*a);
+            }
+            req_inject = failpointFire(w::kFpRequestFrame, i,
+                                       static_cast<std::int64_t>(s));
+          }
+          w::serializeShardRequest(msg, static_cast<std::uint32_t>(s), wsend,
+                                   shard_faults);
+          if (!w::writeFrameInjected(wk.req_fd, msg,
+                                     req_inject ? &*req_inject : nullptr,
+                                     s)) {
+            if (!handleFailure(i, s, ProcessFsimError::Reason::kWorkerDied,
+                               "shard request write failed (worker " +
+                                   std::to_string(i) + " dead, EPIPE)")) {
+              return false;
+            }
+            continue;
+          }
+          wk.shard = static_cast<std::int64_t>(s);
+          wk.deadline = w::Deadline::after(ropts_.timeout_ms);
+        }
+        return true;
+      };
+
+      std::vector<pollfd> pfds;
+      std::vector<int> pidx;
+      while (ndone < nshards && !degrade) {
+        if (!dispatch()) {
+          degrade = true;
+          break;
+        }
+        pfds.clear();
+        pidx.clear();
+        int wait_ms = -1;
+        for (int i = 0; i < nworkers; ++i) {
+          const w::Worker& wk = workers[static_cast<std::size_t>(i)];
+          if (wk.shard >= 0) {
+            pfds.push_back(pollfd{wk.resp_fd, POLLIN, 0});
+            pidx.push_back(i);
+            const int rem = wk.deadline.remainingMs();
+            if (rem >= 0) {
+              wait_ms = wait_ms < 0 ? rem : std::min(wait_ms, rem);
+            }
+          }
+        }
+        if (pfds.empty()) continue;  // everything requeued; re-dispatch
+        const int rc = ::poll(pfds.data(), pfds.size(), wait_ms);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          // poll() itself failing is a parent-side resource problem, not a
+          // worker fault: degrade rather than spin.
+          last_reason = ProcessFsimError::Reason::kProtocol;
+          last_detail = "poll() failed in supervisor";
+          degrade = true;
+          break;
+        }
+        if (rc == 0) {
+          bool failed_budget = false;
+          for (const int i : pidx) {
+            w::Worker& wk = workers[static_cast<std::size_t>(i)];
+            if (wk.shard >= 0 && wk.deadline.expired()) {
+              const auto s = static_cast<std::size_t>(wk.shard);
+              if (!handleFailure(
+                      i, s, ProcessFsimError::Reason::kTimeout,
+                      "worker " + std::to_string(i) +
+                          " produced no complete response within " +
+                          std::to_string(ropts_.timeout_ms) +
+                          " ms of dispatch")) {
+                failed_budget = true;
+                break;
+              }
+            }
+          }
+          if (failed_budget) degrade = true;
+          continue;
+        }
+        for (std::size_t k = 0; k < pfds.size() && !degrade; ++k) {
+          if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+            continue;
+          }
+          const int widx = pidx[k];
+          w::Worker& wk = workers[static_cast<std::size_t>(widx)];
+          if (wk.shard < 0) continue;
+          const auto s = static_cast<std::size_t>(wk.shard);
+          // One retryable failure per wakeup keeps the bookkeeping simple;
+          // other ready responses are picked up on the next poll.
+          auto failShard = [&](ProcessFsimError::Reason reason,
+                               const std::string& detail) {
+            if (!handleFailure(widx, s, reason, detail)) degrade = true;
+          };
+          std::uint32_t hdr[w::kHeaderWords];
+          const w::IoStatus hst =
+              w::readAllDeadline(wk.resp_fd, hdr, sizeof hdr, wk.deadline);
+          if (hst != w::IoStatus::kOk) {
+            failShard(hst == w::IoStatus::kTimeout
+                          ? ProcessFsimError::Reason::kTimeout
+                          : ProcessFsimError::Reason::kWorkerDied,
+                      "worker " + std::to_string(widx) +
+                          (hst == w::IoStatus::kTimeout
+                               ? " dribbled a header past the deadline"
+                               : " closed its response pipe mid-shard"));
+            break;
+          }
+          if (hdr[0] != w::kRespMagic || hdr[2] > kMaxFrameBytes) {
+            failShard(ProcessFsimError::Reason::kProtocol,
+                      "bad response framing from worker " +
+                          std::to_string(widx));
+            break;
+          }
+          payload.resize(hdr[2]);
+          const w::IoStatus pst = w::readAllDeadline(
+              wk.resp_fd, payload.data(), payload.size(), wk.deadline);
+          if (pst != w::IoStatus::kOk) {
+            failShard(pst == w::IoStatus::kTimeout
+                          ? ProcessFsimError::Reason::kTimeout
+                          : ProcessFsimError::Reason::kWorkerDied,
+                      "worker " + std::to_string(widx) +
+                          " died or stalled mid-payload");
+            break;
+          }
+          if (w::fnv1a(payload.data(), payload.size()) != hdr[3]) {
+            failShard(ProcessFsimError::Reason::kProtocol,
+                      "response payload checksum mismatch from worker " +
+                          std::to_string(widx) + " (corrupted frame)");
+            break;
+          }
+          if (hdr[1] == w::kStatusEngineError) {
+            // Deterministic engine rejection: never retried, surfaced as
+            // the engine's own error type like every other backend.
+            const std::string what(payload.begin(), payload.end());
+            killFleet();
+            throw std::invalid_argument(what);
+          }
+          if (hdr[1] != w::kStatusOk) {
+            failShard(ProcessFsimError::Reason::kProtocol,
+                      "unknown response status from worker " +
+                          std::to_string(widx));
+            break;
+          }
+          w::Cursor c{payload.data(), payload.data() + payload.size()};
+          const auto shard_id = c.get<std::uint32_t>();
+          const auto n = c.get<std::uint32_t>();
+          const auto [lo, hi] = shardBounds(s);
+          if (shard_id != static_cast<std::uint32_t>(s) || n != hi - lo) {
+            failShard(ProcessFsimError::Reason::kProtocol,
+                      "response shard mismatch from worker " +
+                          std::to_string(widx));
+            break;
+          }
+          if (!w::mergeWirePayload(c, result, live, lo, n, shape,
+                                   sig_words)) {
+            // A retry fully overwrites the slice rows, so the partial
+            // merge of a malformed payload cannot leak into the result.
+            failShard(ProcessFsimError::Reason::kProtocol,
+                      "malformed result payload from worker " +
+                          std::to_string(widx));
+            break;
+          }
+          done[s] = 1;
+          ++ndone;
+          wk.shard = -1;
+        }
+      }
+
+      if (degrade) {
+        if (!ropts_.degrade_on_failure) {
+          killFleet();
+          throw ProcessFsimError(last_reason, last_worker, ndone, nshards,
+                                 detectedSoFar(),
+                                 last_detail + " (retry budget exhausted)");
+        }
+        killFleet();
+        stepDown(kRungThreaded,
+                 "process rung abandoned after retry budget: " + last_detail);
+      }
+    }
+
+    if (rung >= kRungThreaded && ndone < nshards) {
+      std::vector<std::size_t> remaining;
+      for (std::size_t s = 0; s < nshards; ++s) {
+        if (done[s] == 0) remaining.push_back(s);
+      }
+      FaultSimOptions wopts = opts;
+      wopts.cycles = stage_cycles;
+      wopts.prepass_cycles = 0;  // stage ladder stays up here
+      wopts.num_threads = 1;
+      wopts.stall_blocks = 0;
+      auto gradeShard = [&](FaultSim& eng, std::size_t s) {
+        const auto [lo, hi] = collectShard(s);
+        const FaultSimResult sub = eng.run(shard_faults, patterns, wopts);
+        w::mergeSubResult(result, live, lo, hi, sub, shape, sig_words);
+      };
+
+      if (rung == kRungThreaded) {
+        bool rung_failed = false;
+        std::string rung_detail;
+        if (const auto a = failpointFire(kFpResilientRung, kRungThreaded)) {
+          if (a->kind == FailpointAction::Kind::kError) {
+            rung_failed = true;
+            rung_detail = "injected threaded-rung failure";
+          }
+        }
+        if (!rung_failed) {
+          int nthreads = std::min<int>(
+              nworkers, static_cast<int>(remaining.size()));
+          if (nthreads < 1) nthreads = 1;
+          std::atomic<std::size_t> next{0};
+          std::mutex err_mu;
+          std::exception_ptr first_err;
+          auto body = [&] {
+            // Shards land on disjoint result rows, so merges need no lock.
+            std::vector<Fault> local_faults;
+            const std::unique_ptr<FaultSim> eng = proto_->clone();
+            for (;;) {
+              const std::size_t i =
+                  next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= remaining.size()) break;
+              const std::size_t s = remaining[i];
+              try {
+                const auto [lo, hi] = shardBounds(s);
+                local_faults.clear();
+                for (std::size_t k = lo; k < hi; ++k) {
+                  local_faults.push_back(faults[live[k]]);
+                }
+                const FaultSimResult sub =
+                    eng->run(local_faults, patterns, wopts);
+                w::mergeSubResult(result, live, lo, hi, sub, shape,
+                                  sig_words);
+              } catch (...) {
+                const std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_err) first_err = std::current_exception();
+                break;
+              }
+            }
+          };
+          std::vector<std::thread> pool;
+          pool.reserve(static_cast<std::size_t>(nthreads));
+          for (int t = 0; t < nthreads; ++t) pool.emplace_back(body);
+          for (std::thread& t : pool) t.join();
+          if (first_err) {
+            try {
+              std::rethrow_exception(first_err);
+            } catch (const std::invalid_argument&) {
+              throw;  // deterministic engine error: no ladder can fix it
+            } catch (const std::exception& e) {
+              rung_failed = true;
+              rung_detail = e.what();
+            }
+          }
+        }
+        if (rung_failed) {
+          stepDown(kRungSerial, "threaded rung failed: " + rung_detail);
+        }
+      }
+
+      if (rung == kRungSerial) {
+        if (serial_engine == nullptr) serial_engine = proto_->clone();
+        // Regrade every remaining shard: overwrite-merges are idempotent,
+        // so shards the threaded rung already finished stay byte-identical.
+        for (const std::size_t s : remaining) {
+          gradeShard(*serial_engine, s);
+        }
+      }
+      ndone = nshards;
+    }
+
+    if (stage_cycles == shape.total_cycles) break;
+    std::vector<std::uint32_t> survivors;
+    for (const std::uint32_t i : live) {
+      if (result.first_detect[i] < 0) survivors.push_back(i);
+    }
+    live = std::move(survivors);
+  }
+
+  // Shutdown. Unlike ProcessFaultSim, a worker that fails to exit cleanly
+  // AFTER delivering all its results cannot affect correctness — it is
+  // killed and logged, never thrown.
+  if (rung == kRungProcess) {
+    std::vector<std::uint8_t> bye;
+    w::serializeShutdown(bye);
+    for (int i = 0; i < nworkers; ++i) {
+      w::Worker& wk = workers[static_cast<std::size_t>(i)];
+      if (wk.pid <= 0) {
+        w::closeWorkerFds(wk);
+        continue;
+      }
+      (void)w::writeAll(wk.req_fd, bye.data(), bye.size());
+      const int grace = ropts_.timeout_ms > 0 ? ropts_.timeout_ms : 10'000;
+      const int st = w::reapWithGrace(wk.pid, grace);
+      wk.pid = -1;
+      w::closeWorkerFds(wk);
+      if (st < 0 || !WIFEXITED(st) || WEXITSTATUS(st) != 0) {
+        log_.events.push_back(ResilienceEvent{
+            ResilienceEvent::Kind::kStrayShutdown, kRungProcess, i, -1, 0, 0,
+            0,
+            "worker " + std::to_string(i) +
+                " did not exit cleanly at shutdown (wait status " +
+                std::to_string(st) + ")"});
+      }
+    }
+  } else {
+    killFleet();  // no-op when the degrade path already emptied the fleet
+  }
+
+  for (const auto fd : result.first_detect) {
+    if (fd >= 0) ++result.detected;
+  }
+  return result;
+}
+
+}  // namespace corebist

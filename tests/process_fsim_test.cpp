@@ -2,10 +2,11 @@
 // engines on randomized netlists across 1/2/4 worker processes — plain
 // dropping campaigns, transition pair campaigns (FaultSimOptions::launch),
 // first-K dictionary records, and the windowed-MISR sequential path — plus
-// the failure-path regressions: a worker killed mid-run and a worker that
-// hangs must both surface as a structured ProcessFsimError with partial
-// accounting, with every child reaped (no hang, no zombies), and the
-// backend factory parse/name round-trip.
+// the failure-path regressions driven through the failpoint registry: a
+// crashed worker, a hung worker, truncated / bit-flipped frames (checksum
+// detection) and dribbled partial writes must surface as structured
+// ProcessFsimError (or be absorbed) with every child reaped (no hang, no
+// zombies), and the backend factory parse/name round-trip.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -20,6 +21,7 @@
 #include "atpg/atpg.hpp"
 #include "fault/backend.hpp"
 #include "fault/comb_fsim.hpp"
+#include "fault/failpoint.hpp"
 #include "fault/fault.hpp"
 #include "fault/process_fsim.hpp"
 #include "fault/seq_fsim.hpp"
@@ -250,7 +252,24 @@ TEST_P(ProcessEquivalence, SeqWindowedMisrMatchesSerial) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProcessEquivalence,
                          ::testing::Values(11, 22, 33));
 
-TEST(ProcessFsimFailure, CrashedWorkerRaisesStructuredErrorWithoutZombies) {
+/// Failure-path fixture: every test starts and ends with a clean failpoint
+/// registry so an armed entry can never leak across tests (or into the
+/// equivalence suites above when test order is shuffled).
+class ProcessFsimFailure : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::instance().disarmAll(); }
+  void TearDown() override { FailpointRegistry::instance().disarmAll(); }
+
+  static FailpointAction action(FailpointAction::Kind k,
+                                std::uint64_t arg = 0) {
+    FailpointAction a;
+    a.kind = k;
+    a.arg = arg;
+    return a;
+  }
+};
+
+TEST_F(ProcessFsimFailure, CrashedWorkerRaisesStructuredErrorWithoutZombies) {
   const Netlist nl = randomComb(5, 10, 80);
   const FaultUniverse u = enumerateStuckAt(nl);
   ASSERT_GE(u.faults.size(), 32u);
@@ -262,7 +281,11 @@ TEST(ProcessFsimFailure, CrashedWorkerRaisesStructuredErrorWithoutZombies) {
   ProcessFsimOptions popts;
   popts.num_workers = 2;
   popts.shard_faults = 8;  // many shards, so the crash lands mid-campaign
-  popts.inject_crash_worker = 1;
+  // Worker 1 dies executing its first shard; the parent-side registry
+  // consumes the entry at dispatch, so no other worker is ever affected.
+  FailpointRegistry::instance().arm("process.worker.shard",
+                                    action(FailpointAction::Kind::kCrash),
+                                    /*match_index=*/1);
   ProcessFaultSim psim(
       CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
   try {
@@ -276,24 +299,25 @@ TEST(ProcessFsimFailure, CrashedWorkerRaisesStructuredErrorWithoutZombies) {
     EXPECT_LE(e.detectedSoFar(), u.faults.size());
     EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
   }
+  EXPECT_EQ(FailpointRegistry::instance().firedCount("process.worker.shard"),
+            1u);
   // Every child — including the crashed one — must have been reaped.
   EXPECT_TRUE(noZombies());
 
-  // The failure is per-campaign: an orchestrator without the injected
-  // crash grades the same campaign to the byte-identical serial result.
+  // The failure is per-campaign: once the failpoint is disarmed the same
+  // orchestrator config grades the campaign to the serial result.
+  FailpointRegistry::instance().disarmAll();
   CombFaultSim serial(nl, nl.primaryInputs(), nl.primaryOutputs());
   const FaultSimResult ref = serial.run(u.faults, patterns, o);
-  ProcessFsimOptions good = popts;
-  good.inject_crash_worker = -1;
   ProcessFaultSim retry(
-      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, good);
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
   const FaultSimResult r = retry.run(u.faults, patterns, o);
   EXPECT_EQ(r.first_detect, ref.first_detect);
   EXPECT_EQ(r.detected, ref.detected);
   EXPECT_TRUE(noZombies());
 }
 
-TEST(ProcessFsimFailure, HungWorkerTimesOutStructuredNotForever) {
+TEST_F(ProcessFsimFailure, HungWorkerTimesOutStructuredNotForever) {
   const Netlist nl = randomComb(6, 10, 80);
   const FaultUniverse u = enumerateStuckAt(nl);
   const RandomPatternSource patterns(7, nl.primaryInputs().size(), 256);
@@ -305,7 +329,9 @@ TEST(ProcessFsimFailure, HungWorkerTimesOutStructuredNotForever) {
   popts.num_workers = 2;
   popts.shard_faults = 8;
   popts.timeout_ms = 300;  // the watchdog under test
-  popts.inject_hang_worker = 0;
+  FailpointRegistry::instance().arm("process.worker.shard",
+                                    action(FailpointAction::Kind::kHang),
+                                    /*match_index=*/0);
   ProcessFaultSim psim(
       CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
   const auto t0 = std::chrono::steady_clock::now();
@@ -323,6 +349,117 @@ TEST(ProcessFsimFailure, HungWorkerTimesOutStructuredNotForever) {
   // (wide margin for slow CI runners, but far from "forever").
   EXPECT_LT(elapsed, 30.0);
   // The hung worker was SIGKILLed and reaped.
+  EXPECT_TRUE(noZombies());
+}
+
+TEST_F(ProcessFsimFailure, BitflippedReplyIsCaughtByChecksumAsProtocolError) {
+  const Netlist nl = randomComb(14, 10, 70);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(3, nl.primaryInputs().size(), 192);
+  FaultSimOptions o;
+  o.cycles = 192;
+  o.prepass_cycles = 0;
+
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  popts.shard_faults = 16;
+  // Flip a payload bit (bit 200 is past the 128-bit header) in one reply
+  // frame: without the FNV-1a frame checksum this would silently corrupt
+  // the merged detection data; with it the parent reports kProtocol.
+  FailpointRegistry::instance().arm(
+      "process.worker.reply", action(FailpointAction::Kind::kBitflip, 200));
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  try {
+    (void)psim.run(u.faults, patterns, o);
+    FAIL() << "expected ProcessFsimError";
+  } catch (const ProcessFsimError& e) {
+    EXPECT_EQ(e.reason(), ProcessFsimError::Reason::kProtocol);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+TEST_F(ProcessFsimFailure, TruncatedReplySurfacesAsWorkerDeath) {
+  const Netlist nl = randomComb(15, 10, 70);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(4, nl.primaryInputs().size(), 192);
+  FaultSimOptions o;
+  o.cycles = 192;
+  o.prepass_cycles = 0;
+
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  popts.shard_faults = 16;
+  popts.timeout_ms = 5'000;
+  // The worker emits 8 bytes of one reply and exits: the parent sees a
+  // short frame + EOF, never a hang.
+  FailpointRegistry::instance().arm(
+      "process.worker.reply", action(FailpointAction::Kind::kTruncate, 8));
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  try {
+    (void)psim.run(u.faults, patterns, o);
+    FAIL() << "expected ProcessFsimError";
+  } catch (const ProcessFsimError& e) {
+    EXPECT_EQ(e.reason(), ProcessFsimError::Reason::kWorkerDied);
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+TEST_F(ProcessFsimFailure, CorruptedRequestKillsWorkerNotCampaignIntegrity) {
+  const Netlist nl = randomComb(16, 10, 70);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(5, nl.primaryInputs().size(), 192);
+  FaultSimOptions o;
+  o.cycles = 192;
+  o.prepass_cycles = 0;
+
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  popts.shard_faults = 16;
+  // Corrupt one request frame on the wire: the worker's checksum validation
+  // must reject it and _exit rather than grade garbage faults.
+  FailpointRegistry::instance().arm(
+      "process.request.frame", action(FailpointAction::Kind::kBitflip, 300));
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  try {
+    (void)psim.run(u.faults, patterns, o);
+    FAIL() << "expected ProcessFsimError";
+  } catch (const ProcessFsimError& e) {
+    EXPECT_EQ(e.reason(), ProcessFsimError::Reason::kWorkerDied);
+  }
+  EXPECT_TRUE(noZombies());
+}
+
+TEST_F(ProcessFsimFailure, DribbledRequestWritesAreAbsorbedByteIdentically) {
+  const Netlist nl = randomComb(18, 10, 70);
+  const FaultUniverse u = enumerateStuckAt(nl);
+  const RandomPatternSource patterns(6, nl.primaryInputs().size(), 192);
+  FaultSimOptions o;
+  o.cycles = 192;
+  o.prepass_cycles = 0;
+
+  CombFaultSim serial(nl, nl.primaryInputs(), nl.primaryOutputs());
+  const FaultSimResult ref = serial.run(u.faults, patterns, o);
+
+  ProcessFsimOptions popts;
+  popts.num_workers = 2;
+  popts.shard_faults = 16;
+  // Every request frame is dribbled in 1-byte / 7-byte / rest chunks with
+  // sleeps between: partial-write handling (EINTR-safe writeAll and the
+  // worker's blocking readAll) must reassemble every frame exactly.
+  FailpointRegistry::instance().arm("process.request.frame",
+                                    action(FailpointAction::Kind::kShortWrite),
+                                    /*match_index=*/-1, /*match_seq=*/-1,
+                                    /*skip=*/0, /*count=*/-1);
+  ProcessFaultSim psim(
+      CombFaultSim{nl, nl.primaryInputs(), nl.primaryOutputs()}, popts);
+  const FaultSimResult r = psim.run(u.faults, patterns, o);
+  expectSameResult(ref, r, "short-write process vs serial");
+  EXPECT_GT(FailpointRegistry::instance().firedCount("process.request.frame"),
+            0u);
   EXPECT_TRUE(noZombies());
 }
 
@@ -386,7 +523,8 @@ TEST(ProcessFsimBackend, FactoryWrapsEveryBackendOverEveryLaneWidth) {
   const FaultSimResult ref = ref_engine->run(u.faults, patterns, o);
 
   for (const FsimBackend backend :
-       {FsimBackend::kSerial, FsimBackend::kThreaded, FsimBackend::kProcess}) {
+       {FsimBackend::kSerial, FsimBackend::kThreaded, FsimBackend::kProcess,
+        FsimBackend::kResilient}) {
     for (const int lw : {1, 2, 4, 8}) {
       FsimBackendOptions bopts;
       bopts.backend = backend;
@@ -407,7 +545,7 @@ TEST(ProcessFsimBackend, FactoryWrapsEveryBackendOverEveryLaneWidth) {
 
 TEST(ProcessFsimBackend, NamesParseAndRoundTrip) {
   for (const FsimBackend b : {FsimBackend::kSerial, FsimBackend::kThreaded,
-                              FsimBackend::kProcess}) {
+                              FsimBackend::kProcess, FsimBackend::kResilient}) {
     EXPECT_EQ(parseFsimBackend(fsimBackendName(b)), b);
   }
   EXPECT_THROW((void)parseFsimBackend("gpu"), std::invalid_argument);
