@@ -19,6 +19,7 @@
 
 #include "atpg/atpg.hpp"
 #include "case_study.hpp"
+#include "core/session_report.hpp"  // jsonFinite
 #include "fault/comb_fsim.hpp"
 #include "fault/fault.hpp"
 #include "scan/scan.hpp"
@@ -224,11 +225,11 @@ int main(int argc, char** argv) {
         "\"seconds_median\": %.4f, \"seconds_min\": %.4f, "
         "\"patterns_per_sec\": %.1f}%s\n",
         r.module.c_str(), r.fault_type.c_str(), r.threads, r.mode.c_str(),
-        r.res.total_faults, r.res.detected, r.res.coverage(), r.res.aborted,
-        r.res.patterns, r.res.test_cycles, r.res.podem_calls,
+        r.res.total_faults, r.res.detected, jsonFinite(r.res.coverage()),
+        r.res.aborted, r.res.patterns, r.res.test_cycles, r.res.podem_calls,
         r.res.backtracks, r.res.collapsed_faults, r.res.batches,
-        r.t.median, r.t.min, r.patternsPerSec(),
-        i + 1 < rows.size() ? "," : "");
+        jsonFinite(r.t.median), jsonFinite(r.t.min),
+        jsonFinite(r.patternsPerSec()), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

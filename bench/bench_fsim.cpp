@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "case_study.hpp"
+#include "core/session_report.hpp"  // jsonFinite
 #include "fault/backend.hpp"
 #include "fault/comb_fsim.hpp"
 #include "fault/fault.hpp"
@@ -253,10 +254,13 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
   std::fprintf(f, "  \"lane_backend\": \"%s\",\n", kLaneBackend);
-  std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
-  std::fprintf(f, "  \"wide_speedup_vs_64lane\": %.3f,\n", wide_speedup);
+  // Every double goes through jsonFinite: a zero-duration timing window
+  // otherwise turns a ratio into inf/nan, which %f prints as non-JSON.
+  std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", jsonFinite(speedup4));
+  std::fprintf(f, "  \"wide_speedup_vs_64lane\": %.3f,\n",
+               jsonFinite(wide_speedup));
   std::fprintf(f, "  \"resilient_overhead_vs_process\": %.3f,\n",
-               resilient_overhead);
+               jsonFinite(resilient_overhead));
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
@@ -267,8 +271,9 @@ int main(int argc, char** argv) {
                  "\"patterns_per_sec\": %.1f, "
                  "\"mfault_patterns_per_sec\": %.3f, \"detected\": %zu}%s\n",
                  r.engine.c_str(), r.threads, r.lane_words, r.faults,
-                 r.cycles, r.t.median, r.t.min, r.patternsPerSec(),
-                 r.mfaultPatternsPerSec(), r.detected,
+                 r.cycles, jsonFinite(r.t.median), jsonFinite(r.t.min),
+                 jsonFinite(r.patternsPerSec()),
+                 jsonFinite(r.mfaultPatternsPerSec()), r.detected,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -12,6 +12,7 @@
 // the serial reference, so the numbers are only reported for campaigns
 // that are byte-identical.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "case_study.hpp"
 #include "core/scheduler.hpp"
+#include "core/session_report.hpp"
 #include "fault/lane.hpp"
 #include "core/soc.hpp"
 #include "netlist/builder.hpp"
@@ -81,6 +83,48 @@ std::unique_ptr<Soc> makeMultiTamSoc(int cores, int tams) {
   soc->core(cores / 2).injectDefect(0, 7, GateType::kNor);
   return soc;
 }
+
+/// Placement-sweep topology: `cores` flat wrapped cores round-robin over
+/// `tams` TAMs. Heterogeneity comes from the *plan* (ascending per-core
+/// pattern budgets), which is adversarial for the plan-order greedy walk
+/// and exactly what LPT placement exists to fix.
+std::unique_ptr<Soc> makePlacementSoc(int cores, int tams) {
+  auto soc = std::make_unique<Soc>("bench_soc_place");
+  for (int t = 1; t < tams; ++t) (void)soc->addTam();
+  for (int c = 0; c < cores; ++c) {
+    auto core = std::make_unique<WrappedCore>("core" + std::to_string(c));
+    core->addModule(makeBlock(2 * c, 14 + (c % 3) * 4));
+    core->addModule(makeBlock(2 * c + 1, 12 + (c % 4) * 4));
+    (void)soc->attachCore(std::move(core), c % tams);
+  }
+  soc->core(cores / 2).injectDefect(0, 7, GateType::kNor);
+  return soc;
+}
+
+/// Max - min predicted channel load within each TAM, summed over TAMs: the
+/// deterministic imbalance the placement pass minimizes (utilization is the
+/// wall-clock echo of the same quantity, but noisy).
+std::size_t predictedSpread(const PlanForecast& f) {
+  std::size_t spread = 0;
+  for (const TamForecast& tf : f.tams) {
+    std::size_t lo = SIZE_MAX;
+    std::size_t hi = 0;
+    for (const ChannelLoad& cl : tf.channel_loads) {
+      lo = std::min(lo, cl.predicted_tcks);
+      hi = std::max(hi, cl.predicted_tcks);
+    }
+    if (hi > lo) spread += hi - lo;
+  }
+  return spread;
+}
+
+struct PlacementRow {
+  PlacementPolicy policy = PlacementPolicy::kPlanOrder;
+  double seconds_median = 0.0;
+  double seconds_min = 0.0;
+  PlanForecast forecast;
+  SessionReport report;  // last run (actual makespan + utilization)
+};
 
 struct TamSweepRow {
   int tams = 1;
@@ -195,6 +239,94 @@ int main(int argc, char** argv) {
     tam_rows.push_back(std::move(row));
   }
 
+  // Placement sweep: 16 flat cores over 4 TAMs, 2 channels per TAM, with
+  // per-core pattern budgets ascending within each TAM — the adversarial
+  // case for the plan-order greedy walk. kPlanOrder vs kMakespan are run
+  // on the same SoC state sequence; outcomes must fingerprint identically
+  // (placement moves work between channels, never changes results), and
+  // kMakespan must strictly shrink the predicted makespan here while never
+  // widening the predicted channel-load spread.
+  const int place_cores = 16;
+  const int place_tams = 4;
+  const int place_base = quick ? 64 : 256;
+  std::printf("\nplacement sweep (%d cores / %d TAMs, 2 channels each, "
+              "%d..%d patterns)\n",
+              place_cores, place_tams, place_base,
+              place_base * (place_cores / place_tams));
+  TestPlan place_plan = TestPlan{}.withThreads(8).withChannelsPerTam(2);
+  for (int c = 0; c < place_cores; ++c) {
+    place_plan.addCore(CorePlan{
+        .core_index = c,
+        .patterns = place_base * (1 + c / place_tams)});
+  }
+  std::vector<PlacementRow> place_rows;
+  std::string place_reference;
+  {
+    auto ref_soc = makePlacementSoc(place_cores, place_tams);
+    SocTestScheduler ref_scheduler(*ref_soc);
+    TestPlan serial = place_plan;
+    place_reference = ref_scheduler.run(serial.withThreads(1)).fingerprint();
+  }
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kPlanOrder, PlacementPolicy::kMakespan}) {
+    auto place_soc = makePlacementSoc(place_cores, place_tams);
+    SocTestScheduler place_scheduler(*place_soc);
+    TestPlan plan = place_plan;
+    plan.withPlacement(policy);
+    PlacementRow row;
+    row.policy = policy;
+    row.forecast = place_scheduler.predict(plan);
+    bool diverged = false;
+    const Timing t = timeRepeats(repeats, [&] {
+      row.report = place_scheduler.run(plan);
+      if (row.report.fingerprint() != place_reference) diverged = true;
+    });
+    if (diverged) {
+      std::fprintf(stderr,
+                   "FATAL: %s placement diverged from the serial reference\n",
+                   std::string(placementPolicyName(policy)).c_str());
+      return 1;
+    }
+    row.seconds_median = t.median;
+    row.seconds_min = t.min;
+    std::printf("  %-10s %7.3fs med  predicted makespan %8zu TCKs  "
+                "actual %8zu TCKs  spread %6zu TCKs\n",
+                std::string(placementPolicyName(policy)).c_str(),
+                row.seconds_median, row.forecast.predicted_makespan_tcks,
+                row.report.actual_makespan_tcks,
+                predictedSpread(row.forecast));
+    place_rows.push_back(std::move(row));
+  }
+  {
+    const PlacementRow& po = place_rows[0];
+    const PlacementRow& mk = place_rows[1];
+    if (mk.forecast.predicted_makespan_tcks >=
+        po.forecast.predicted_makespan_tcks) {
+      std::fprintf(stderr,
+                   "FATAL: makespan placement did not reduce the predicted "
+                   "makespan (%zu vs %zu TCKs)\n",
+                   mk.forecast.predicted_makespan_tcks,
+                   po.forecast.predicted_makespan_tcks);
+      return 1;
+    }
+    if (predictedSpread(mk.forecast) > predictedSpread(po.forecast)) {
+      std::fprintf(stderr,
+                   "FATAL: makespan placement widened the predicted "
+                   "channel-load spread (%zu vs %zu TCKs)\n",
+                   predictedSpread(mk.forecast), predictedSpread(po.forecast));
+      return 1;
+    }
+    for (std::size_t t = 0; t < mk.forecast.tams.size(); ++t) {
+      if (mk.forecast.tams[t].predicted_makespan_tcks >
+          po.forecast.tams[t].predicted_makespan_tcks) {
+        std::fprintf(stderr,
+                     "FATAL: makespan placement predicts worse than plan "
+                     "order on TAM %d\n", mk.forecast.tams[t].tam_index);
+        return 1;
+      }
+    }
+  }
+
   std::FILE* f = std::fopen("BENCH_soc.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_soc.json for writing\n");
@@ -208,7 +340,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
   std::fprintf(f, "  \"lane_words_default\": %d,\n", kLaneWords);
   std::fprintf(f, "  \"lane_backend\": \"%s\",\n", kLaneBackend);
-  std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n", speedup4);
+  std::fprintf(f, "  \"speedup_4t_vs_serial\": %.3f,\n",
+               jsonFinite(speedup4));
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Measurement& m = rows[i];
@@ -216,8 +349,9 @@ int main(int argc, char** argv) {
                  "    {\"threads\": %d, \"seconds_median\": %.4f, "
                  "\"seconds_min\": %.4f, \"cores\": %d, "
                  "\"cores_per_sec\": %.2f, \"tap_clocks\": %zu}%s\n",
-                 m.threads, m.seconds_median, m.seconds_min, m.cores,
-                 m.coresPerSec(), m.tap_clocks,
+                 m.threads, jsonFinite(m.seconds_median),
+                 jsonFinite(m.seconds_min), m.cores,
+                 jsonFinite(m.coresPerSec()), m.tap_clocks,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -228,7 +362,8 @@ int main(int argc, char** argv) {
                  "    {\"tams\": %d, \"threads\": 4, "
                  "\"seconds_median\": %.4f, \"seconds_min\": %.4f, "
                  "\"per_tam\": [",
-                 row.tams, row.seconds_median, row.seconds_min);
+                 row.tams, jsonFinite(row.seconds_median),
+                 jsonFinite(row.seconds_min));
     for (std::size_t t = 0; t < row.report.tams.size(); ++t) {
       const TamReport& tr = row.report.tams[t];
       std::fprintf(f,
@@ -237,9 +372,35 @@ int main(int argc, char** argv) {
                    "\"utilization\": %.3f}",
                    t == 0 ? "" : ", ", tr.tam_index, tr.name.c_str(),
                    tr.core_order.size(), tr.tap_clocks, tr.channels,
-                   tr.utilization);
+                   jsonFinite(tr.utilization));
     }
     std::fprintf(f, "]}%s\n", i + 1 < tam_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"placement_sweep\": [\n");
+  for (std::size_t i = 0; i < place_rows.size(); ++i) {
+    const PlacementRow& row = place_rows[i];
+    std::fprintf(f,
+                 "    {\"placement\": \"%s\", \"threads\": 8, "
+                 "\"seconds_median\": %.4f, \"seconds_min\": %.4f, "
+                 "\"predicted_makespan\": %zu, \"actual_makespan\": %zu, "
+                 "\"predicted_spread\": %zu, \"per_tam\": [",
+                 std::string(placementPolicyName(row.policy)).c_str(),
+                 jsonFinite(row.seconds_median), jsonFinite(row.seconds_min),
+                 row.forecast.predicted_makespan_tcks,
+                 row.report.actual_makespan_tcks,
+                 predictedSpread(row.forecast));
+    for (std::size_t t = 0; t < row.report.tams.size(); ++t) {
+      const TamReport& tr = row.report.tams[t];
+      std::fprintf(f,
+                   "%s{\"tam\": %d, \"channels\": %d, "
+                   "\"predicted_makespan\": %zu, \"actual_makespan\": %zu, "
+                   "\"utilization\": %.3f}",
+                   t == 0 ? "" : ", ", tr.tam_index, tr.channels,
+                   tr.predicted_makespan_tcks, tr.actual_makespan_tcks,
+                   jsonFinite(tr.utilization));
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < place_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -103,6 +103,10 @@ std::string LintReport::summary() const {
   return os.str();
 }
 
+// Float-audit note: severities, rules and net lists only — no
+// floating-point fields, so no finite guard is needed here. Any future
+// float (e.g. a confidence score) must go through corebist::jsonFinite
+// (core/session_report.hpp) to keep inf/NaN out of the artifact.
 std::string LintReport::toJson() const {
   std::ostringstream os;
   os << "{\n  \"netlist\": \"" << escaped(netlist) << "\",\n"

@@ -21,12 +21,47 @@
 #ifndef COREBIST_CORE_SCHEDULER_HPP_
 #define COREBIST_CORE_SCHEDULER_HPP_
 
+#include <string>
+#include <vector>
+
 #include "core/session_observer.hpp"
 #include "core/session_report.hpp"
 #include "core/soc.hpp"
 #include "core/test_plan.hpp"
 
 namespace corebist {
+
+/// Predicted cost of one plan entry (what-if output; plan order).
+struct CoreForecast {
+  int core_index = -1;
+  int tam = 0;
+  int depth = 0;
+  std::size_t predicted_tap_clocks = 0;  // P1500Ate cost-model session cost
+  std::size_t predicted_bist_cycles = 0;
+};
+
+/// Predicted placement for one TAM: the channel loads the scheduler would
+/// apply (ChannelLoad::actual_tcks stays 0 — nothing ran).
+struct TamForecast {
+  int tam_index = 0;
+  std::string name;
+  int channels = 1;  // concurrent channels the placement uses
+  std::vector<ChannelLoad> channel_loads;  // ascending channel ordinal
+  std::size_t predicted_tap_clocks = 0;    // summed over the TAM's cores
+  std::size_t predicted_makespan_tcks = 0;  // max channel load
+};
+
+/// What-if result of SocTestScheduler::predict: the placement a plan would
+/// get and its predicted makespan, computed purely from the P1500Ate cost
+/// model — no channel is opened, no core is clocked. The makespan assumes
+/// one worker per channel; TestPlan::num_threads bounds real concurrency.
+struct PlanForecast {
+  PlacementPolicy placement = PlacementPolicy::kPlanOrder;
+  std::vector<CoreForecast> cores;  // plan order
+  std::vector<TamForecast> tams;    // ascending TAM index; only TAMs with work
+  std::size_t predicted_total_tcks = 0;
+  std::size_t predicted_makespan_tcks = 0;  // max over every channel
+};
 
 class SocTestScheduler {
  public:
@@ -40,6 +75,13 @@ class SocTestScheduler {
   /// invalid per-TAM channel limits, or request pattern budgets beyond a
   /// core's counter capacity.
   [[nodiscard]] SessionReport run(const TestPlan& plan);
+
+  /// Validate `plan` and predict its placement and makespan without running
+  /// anything (the what-if API): same resolution, lint gating and placement
+  /// pass as run(), same rejections, zero TCKs spent. Forecast TCK numbers
+  /// are exact for cores whose dwell covers the whole run (the default
+  /// warmup) and lower bounds otherwise.
+  [[nodiscard]] PlanForecast predict(const TestPlan& plan);
 
   /// Single-core convenience: one entry, one shard, plan defaults for any
   /// sentinel field.

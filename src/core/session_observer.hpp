@@ -9,7 +9,9 @@
 #ifndef COREBIST_CORE_SESSION_OBSERVER_HPP_
 #define COREBIST_CORE_SESSION_OBSERVER_HPP_
 
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "core/session_report.hpp"
 
@@ -19,6 +21,15 @@ class SessionObserver {
  public:
   virtual ~SessionObserver() = default;
   virtual void onCampaignStart(int /*cores*/, int /*threads*/) {}
+  /// Placement decision stream: one call per TAM channel, after
+  /// onCampaignStart and before any core runs, in ascending (TAM, channel)
+  /// order — deterministic, unlike completion order. `cores` lists the
+  /// core indices the channel will run serially, in execution order;
+  /// `predicted_tcks` is the P1500Ate cost-model load the scheduler
+  /// balanced (see TestPlan::placement).
+  virtual void onChannelPlaced(int /*tam*/, int /*channel*/,
+                               const std::vector<int>& /*cores*/,
+                               std::size_t /*predicted_tcks*/) {}
   /// `attempt` is 1-based; > 1 means a retry after a timeout.
   virtual void onCoreStart(int /*core_index*/, int /*attempt*/) {}
   virtual void onCoreTimeout(int /*core_index*/, int /*attempt*/,
@@ -44,6 +55,12 @@ class StreamObserver final : public SessionObserver {
   void onCampaignStart(int cores, int threads) override {
     std::fprintf(out_, "[campaign] %d core(s) on %d shard(s)\n", cores,
                  threads);
+  }
+  void onChannelPlaced(int tam, int channel, const std::vector<int>& cores,
+                       std::size_t predicted_tcks) override {
+    std::fprintf(out_, "[tam %d ch %d]", tam, channel);
+    for (const int c : cores) std::fprintf(out_, " core %d", c);
+    std::fprintf(out_, " (%zu predicted TCKs)\n", predicted_tcks);
   }
   void onCoreStart(int core_index, int attempt) override {
     if (attempt > 1) {

@@ -1,9 +1,12 @@
 #include "core/session_report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
 namespace corebist {
+
+double jsonFinite(double v) noexcept { return std::isfinite(v) ? v : 0.0; }
 
 std::string jsonEscaped(std::string_view s) {
   std::string out;
@@ -135,7 +138,8 @@ void writeCore(std::ostringstream& os, const CoreReport& c,
     // timing-gated (out of the fingerprint), like utilization.
     if (include_timing) {
       os << ", \"channel_failures\": " << c.channel_failures;
-      std::snprintf(buf, sizeof buf, ", \"seconds\": %.4f", c.seconds);
+      std::snprintf(buf, sizeof buf, ", \"seconds\": %.4f",
+                    jsonFinite(c.seconds));
       os << buf;
     }
     os << ", \"modules\": []}";
@@ -150,12 +154,13 @@ void writeCore(std::ostringstream& os, const CoreReport& c,
      << ", \"tap_clocks\": " << c.tap_clocks
      << ", \"bist_cycles\": " << c.bist_cycles;
   if (include_timing) {
-    std::snprintf(buf, sizeof buf, ", \"seconds\": %.4f", c.seconds);
+    std::snprintf(buf, sizeof buf, ", \"seconds\": %.4f",
+                  jsonFinite(c.seconds));
     os << buf;
   }
   if (c.coverage_target > 0.0) {
     std::snprintf(buf, sizeof buf, ", \"coverage_target\": %.2f",
-                  c.coverage_target);
+                  jsonFinite(c.coverage_target));
     os << buf << ", \"coverage_met\": " << (c.coverage_met ? "true" : "false");
   }
   os << ", \"modules\": [";
@@ -167,7 +172,8 @@ void writeCore(std::ostringstream& os, const CoreReport& c,
                   v.signature, v.golden);
     os << buf << ", \"pass\": " << (v.pass() ? "true" : "false");
     if (v.coverage >= 0.0) {
-      std::snprintf(buf, sizeof buf, ", \"coverage\": %.3f", v.coverage);
+      std::snprintf(buf, sizeof buf, ", \"coverage\": %.3f",
+                    jsonFinite(v.coverage));
       os << buf;
     }
     os << "}";
@@ -181,9 +187,15 @@ std::string writeReport(const SessionReport& r, bool include_timing) {
   os << "  \"pass\": " << (r.pass() ? "true" : "false") << ",\n";
   if (include_timing) {
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.4f", r.wall_seconds);
+    std::snprintf(buf, sizeof buf, "%.4f", jsonFinite(r.wall_seconds));
     os << "  \"threads\": " << r.threads << ",\n  \"wall_seconds\": " << buf
        << ",\n";
+    if (!r.placement.empty()) {
+      os << "  \"placement\": \"" << jsonEscaped(r.placement) << "\",\n"
+         << "  \"predicted_makespan_tcks\": " << r.predicted_makespan_tcks
+         << ",\n  \"actual_makespan_tcks\": " << r.actual_makespan_tcks
+         << ",\n";
+    }
   }
   os << "  \"total_tap_clocks\": " << r.total_tap_clocks << ",\n";
   os << "  \"total_bist_cycles\": " << r.total_bist_cycles << ",\n";
@@ -203,8 +215,27 @@ std::string writeReport(const SessionReport& r, bool include_timing) {
       std::snprintf(buf, sizeof buf,
                     ", \"channels\": %d, \"busy_seconds\": %.4f, "
                     "\"utilization\": %.3f",
-                    tr.channels, tr.busy_seconds, tr.utilization);
+                    tr.channels, jsonFinite(tr.busy_seconds),
+                    jsonFinite(tr.utilization));
       os << buf;
+      if (!tr.channel_loads.empty()) {
+        os << ", \"predicted_tap_clocks\": " << tr.predicted_tap_clocks
+           << ", \"predicted_makespan_tcks\": " << tr.predicted_makespan_tcks
+           << ", \"actual_makespan_tcks\": " << tr.actual_makespan_tcks
+           << ", \"channel_loads\": [";
+        for (std::size_t ch = 0; ch < tr.channel_loads.size(); ++ch) {
+          const ChannelLoad& cl = tr.channel_loads[ch];
+          if (ch != 0) os << ", ";
+          os << "{\"channel\": " << cl.channel << ", \"cores\": [";
+          for (std::size_t c = 0; c < cl.cores.size(); ++c) {
+            if (c != 0) os << ", ";
+            os << cl.cores[c];
+          }
+          os << "], \"predicted_tcks\": " << cl.predicted_tcks
+             << ", \"actual_tcks\": " << cl.actual_tcks << "}";
+        }
+        os << "]";
+      }
     }
     os << "}" << (t + 1 < r.tams.size() ? ",\n" : "\n");
   }

@@ -49,6 +49,15 @@ enum class CoreVerdict : std::uint8_t {
 /// serialize to invalid JSON (and could smuggle keys into the report).
 [[nodiscard]] std::string jsonEscaped(std::string_view s);
 
+/// Finite-guard companion to jsonEscaped, applied to every double the JSON
+/// emitters format with printf: `%f` serializes inf/NaN as `inf`/`nan`,
+/// which is not JSON. A zero-wall-time campaign (coarse clock, trivial
+/// plan) or a zero-duration bench ratio otherwise poisons the whole
+/// artifact; non-finite values clamp to 0.0. (LintReport and ResilienceLog
+/// emit no floating-point fields — audited; route any future ones through
+/// this guard too.)
+[[nodiscard]] double jsonFinite(double v) noexcept;
+
 /// Complete record of one core's campaign entry (all attempts).
 struct CoreReport {
   int core_index = -1;
@@ -79,11 +88,23 @@ struct CoreReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// One TAM channel's share of a campaign under the scheduler's placement:
+/// which cores it ran serially (execution order) and its predicted vs
+/// actual TCK load. Placement is a scheduling artifact like utilization,
+/// so fingerprints exclude the whole structure.
+struct ChannelLoad {
+  int channel = 0;              // channel ordinal within the TAM
+  std::vector<int> cores;       // core indices, in execution order
+  std::size_t predicted_tcks = 0;  // P1500Ate cost-model prediction
+  std::size_t actual_tcks = 0;     // measured tap_clocks, summed
+};
+
 /// Per-TAM slice of a campaign: which cores ran over this TAM (in plan
 /// order — deterministic, unlike completion order), the TCK/at-speed
 /// totals they cost, and how busy the TAM's channels were. The channel
-/// cap and utilization depend on scheduling, so fingerprints exclude them
-/// (like `threads` and wall times).
+/// cap, utilization and the predicted/actual placement accounting depend
+/// on scheduling, so fingerprints exclude them (like `threads` and wall
+/// times).
 struct TamReport {
   int tam_index = 0;
   std::string name;
@@ -95,6 +116,13 @@ struct TamReport {
   /// busy_seconds / (campaign wall * channels): 1.0 = the TAM's channels
   /// never starved.
   double utilization = 0.0;
+  // ---- placement accounting (timing-gated, like utilization) ----
+  std::vector<ChannelLoad> channel_loads;  // ascending channel ordinal
+  std::size_t predicted_tap_clocks = 0;    // summed over the TAM's cores
+  /// Max predicted / actual channel load: the TAM's serialization floor
+  /// under the applied placement (one worker per channel assumed).
+  std::size_t predicted_makespan_tcks = 0;
+  std::size_t actual_makespan_tcks = 0;
 };
 
 /// Whole-campaign report: per-core records in plan order plus aggregated
@@ -107,6 +135,14 @@ struct SessionReport {
   std::size_t total_tap_clocks = 0;
   std::size_t total_bist_cycles = 0;
   double wall_seconds = 0.0;
+  // ---- placement accounting (timing-gated, excluded from fingerprint) ----
+  /// placementPolicyName() of the applied policy; empty for reports not
+  /// built by the scheduler.
+  std::string placement;
+  /// Max predicted / actual channel load across every TAM channel: the
+  /// campaign's serialization floor assuming one worker per channel.
+  std::size_t predicted_makespan_tcks = 0;
+  std::size_t actual_makespan_tcks = 0;
 
   [[nodiscard]] bool pass() const noexcept;
   [[nodiscard]] int passCount() const noexcept;

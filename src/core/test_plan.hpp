@@ -14,12 +14,43 @@
 #ifndef COREBIST_CORE_TEST_PLAN_HPP_
 #define COREBIST_CORE_TEST_PLAN_HPP_
 
+#include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "fault/backend.hpp"
 
 namespace corebist {
+
+/// How the scheduler places core trees onto a TAM's concurrent channels.
+/// Placement never changes campaign *outcomes* — every CoreReport is a
+/// function of (core-tree state, plan entry) alone, so fingerprints are
+/// byte-identical under either policy — only wall-clock shape and the
+/// predicted/actual load split across channels.
+enum class PlacementPolicy : std::uint8_t {
+  /// Walk trees in plan order, each onto the least-loaded channel at the
+  /// time of placement (deterministic index-order tie-break). The default:
+  /// mirrors the legacy scheduler and keeps BENCH trajectories comparable.
+  kPlanOrder,
+  /// Longest-processing-time placement on the P1500Ate-predicted TCK load
+  /// plus a local-exchange refinement; minimizes the predicted campaign
+  /// makespan. Never predicts worse than kPlanOrder: the scheduler keeps
+  /// whichever of the two (refined) placements predicts the smaller
+  /// makespan per TAM.
+  kMakespan,
+};
+
+[[nodiscard]] constexpr std::string_view placementPolicyName(
+    PlacementPolicy p) noexcept {
+  switch (p) {
+    case PlacementPolicy::kPlanOrder:
+      return "plan_order";
+    case PlacementPolicy::kMakespan:
+      return "makespan";
+  }
+  return "?";
+}
 
 /// One core's campaign entry. Sentinel values inherit the TestPlan default.
 struct CorePlan {
@@ -86,6 +117,9 @@ struct TestPlan {
   /// num_threads and the available work).
   int channels_per_tam = 0;
 
+  /// How core trees are placed onto TAM channels (see PlacementPolicy).
+  PlacementPolicy placement = PlacementPolicy::kPlanOrder;
+
   /// Fault-sim backend for coverage measurement. kSerial by default: the
   /// session channel is the unit of parallelism in this layer, and coverage
   /// probes run on scheduler worker threads, where forking a process fleet
@@ -151,6 +185,10 @@ struct TestPlan {
   }
   TestPlan& withChannelsPerTam(int channels) {
     channels_per_tam = channels;
+    return *this;
+  }
+  TestPlan& withPlacement(PlacementPolicy policy) {
+    placement = policy;
     return *this;
   }
   TestPlan& withTamChannels(int tam, int channels) {

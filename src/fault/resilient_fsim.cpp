@@ -83,6 +83,10 @@ const char* resilienceRungName(int rung) noexcept {
   }
 }
 
+// Float-audit note: every field below is integral or an enum name, so this
+// emitter needs no finite guard. If a floating-point field (e.g. a retry
+// latency) is ever added, format it through corebist::jsonFinite
+// (core/session_report.hpp) — %f renders inf/NaN as non-JSON.
 std::string ResilienceLog::toJson() const {
   std::string out = "{";
   out += "\"retries\":" + std::to_string(retries);

@@ -1,5 +1,7 @@
 #include "tam/ate.hpp"
 
+#include <algorithm>
+
 namespace corebist {
 
 void P1500Ate::selectCore(int core_slot) {
@@ -50,6 +52,74 @@ std::uint16_t P1500Ate::readWdr() {
   loadWir(WirInstruction::kWsDr);
   wdrScanIr();
   return static_cast<std::uint16_t>(driver_.shiftDr(0, P1500Wrapper::kWdrBits));
+}
+
+// ---- cost model ----------------------------------------------------------
+// Mirrors the bit-banging code above operation for operation; every term is
+// named after the method whose cost it predicts.
+
+std::size_t P1500Ate::wirScanTcks(int ir_width, int depth) noexcept {
+  // scanWirAt(d) = scanWirAt(d-1, WIR) + [IR + WIR-bits DR] + scanWirAt(d-1,
+  // DR): one base scan at depth 0, (2^(d+1) - 1) of them at depth d.
+  const std::size_t base =
+      shiftIrTcks(ir_width) + shiftDrTcks(P1500Wrapper::kWirBits);
+  return ((std::size_t{1} << (static_cast<unsigned>(depth) + 1)) - 1) * base;
+}
+
+std::size_t P1500Ate::selectPathTcks(int ir_width, int depth) noexcept {
+  // selectPath routes one WS_CHILD_SEL scan per level: scanWirAt(level) to
+  // set the instruction, then an IR scan plus a child-select DR scan.
+  std::size_t tcks = 0;
+  for (int level = 0; level < depth; ++level) {
+    tcks += wirScanTcks(ir_width, level) + shiftIrTcks(ir_width) +
+            shiftDrTcks(P1500Wrapper::kChildSelBits);
+  }
+  return tcks;
+}
+
+std::size_t P1500Ate::sendCommandTcks(int ir_width, int depth) noexcept {
+  return wirScanTcks(ir_width, depth) + shiftIrTcks(ir_width) +
+         shiftDrTcks(P1500Wrapper::kWcdrBits);
+}
+
+std::size_t P1500Ate::readWdrTcks(int ir_width, int depth) noexcept {
+  return wirScanTcks(ir_width, depth) + shiftIrTcks(ir_width) +
+         shiftDrTcks(P1500Wrapper::kWdrBits);
+}
+
+P1500Ate::SessionCost P1500Ate::predictSessionCost(
+    int ir_width, int depth, int module_count, int patterns, int warmup_idle,
+    int poll_budget, int poll_idle) noexcept {
+  SessionCost cost;
+  // The control unit raises end_test once the at-speed dwell has covered
+  // the pattern count (the legacy "whole run" dwell is patterns + 4); a
+  // shorter warmup pays extra poll rounds of poll_idle each.
+  const long long need = static_cast<long long>(patterns) + 4;
+  int polls = 1;
+  if (warmup_idle < need && poll_idle > 0) {
+    const long long missing = need - warmup_idle;
+    polls += static_cast<int>((missing + poll_idle - 1) / poll_idle);
+  }
+  polls = std::max(1, std::min(polls, std::max(1, poll_budget)));
+  cost.polls = polls;
+
+  cost.tap_clocks = 6;  // TapDriver::reset: five TMS=1 clocks + idle settle
+  cost.tap_clocks +=    // selectCore: TAM_SELECT IR scan + slot DR scan
+      shiftIrTcks(ir_width) + shiftDrTcks(Tam::kSelectBits);
+  cost.tap_clocks += selectPathTcks(ir_width, depth);
+  // BIST preamble (kReset, kLoadCount, kStart) + the status view select.
+  cost.tap_clocks += 4 * sendCommandTcks(ir_width, depth);
+  cost.bist_cycles = static_cast<std::size_t>(std::max(0, warmup_idle));
+  cost.bist_cycles += static_cast<std::size_t>(polls - 1) *
+                      static_cast<std::size_t>(std::max(0, poll_idle));
+  cost.tap_clocks += cost.bist_cycles;  // runIdle clocks TCK one-for-one
+  cost.tap_clocks += static_cast<std::size_t>(polls) *
+                     readWdrTcks(ir_width, depth);
+  // Per-module result-select + signature upload.
+  cost.tap_clocks += static_cast<std::size_t>(std::max(0, module_count)) *
+                     (sendCommandTcks(ir_width, depth) +
+                      readWdrTcks(ir_width, depth));
+  return cost;
 }
 
 }  // namespace corebist

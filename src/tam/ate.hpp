@@ -82,6 +82,58 @@ class P1500Ate {
     return path_;
   }
 
+  // ---- ATE cost model (static queries; no TAP required) -----------------
+  //
+  // Every scan in this protocol is fixed-length, so the TCK cost of any
+  // command sequence is a pure function of the protocol shape — the same
+  // invariant the scheduler's fingerprint equality rests on. These queries
+  // let the scheduler predict a core session's TCK load *before* running
+  // anything (makespan-aware placement, the what-if API) and are kept next
+  // to the protocol implementation so the model can never drift from the
+  // bit-banging code silently: tests/placement_test.cpp asserts the
+  // prediction equals the measured tckCount() delta exactly.
+
+  /// Predicted cost of one full core session (the canonical protocol in
+  /// SessionChannel::testCore), assuming the attempt succeeds.
+  struct SessionCost {
+    std::size_t tap_clocks = 0;   // total TCKs, at-speed dwell included
+    std::size_t bist_cycles = 0;  // commanded Run-Test/Idle (at-speed) TCKs
+    int polls = 1;                // status polls the model expects
+  };
+
+  /// One IR scan from Run-Test/Idle: 4 state clocks in, `ir_width` shift
+  /// clocks, 2 state clocks out.
+  [[nodiscard]] static constexpr std::size_t shiftIrTcks(int ir_width) noexcept {
+    return static_cast<std::size_t>(ir_width) + 6;
+  }
+  /// One DR scan from Run-Test/Idle: 3 state clocks in, `dr_bits` shift
+  /// clocks, 2 state clocks out.
+  [[nodiscard]] static constexpr std::size_t shiftDrTcks(int dr_bits) noexcept {
+    return static_cast<std::size_t>(dr_bits) + 5;
+  }
+  /// Cost of scanning a WIR at nesting depth `depth` (scanWirAt): routing
+  /// an ancestor's WIR is itself a hierarchical scan, so the cost doubles
+  /// per level — (2^(depth+1) - 1) base scans.
+  [[nodiscard]] static std::size_t wirScanTcks(int ir_width, int depth) noexcept;
+  /// Cost of selectPath() for a core at nesting depth `depth`.
+  [[nodiscard]] static std::size_t selectPathTcks(int ir_width,
+                                                  int depth) noexcept;
+  /// Cost of sendCommand() / readWdr() addressed at nesting depth `depth`.
+  [[nodiscard]] static std::size_t sendCommandTcks(int ir_width,
+                                                   int depth) noexcept;
+  [[nodiscard]] static std::size_t readWdrTcks(int ir_width, int depth) noexcept;
+
+  /// Predict the full single-attempt session for a core at `depth` with
+  /// `module_count` MISR uploads: reset, TAM select, path routing, the
+  /// three-command BIST preamble, `warmup_idle` at-speed TCKs, status
+  /// polling (`poll_budget`/`poll_idle` bound the modeled poll loop; a
+  /// dwell that covers the whole run needs exactly one poll), and the
+  /// per-module signature uploads. Exact when end_test is reached within
+  /// the modeled polls; a lower bound otherwise (retries are not modeled).
+  [[nodiscard]] static SessionCost predictSessionCost(
+      int ir_width, int depth, int module_count, int patterns, int warmup_idle,
+      int poll_budget, int poll_idle) noexcept;
+
  private:
   /// Scan `instr` into the WIR of the ancestor at `depth` along the routed
   /// path (depth 0 = the top-level core). Leaves every shallower ancestor

@@ -1,0 +1,411 @@
+// Makespan-aware TAM placement and the what-if API: the P1500Ate cost
+// model must equal the measured TCK accounting (the protocol is bit-banged
+// and fixed-length, so prediction is arithmetic, not estimation), the
+// placement pass must be deterministic with an index-order tie-break,
+// kMakespan must never predict a worse makespan than kPlanOrder, and every
+// placement field must stay out of the campaign fingerprint. Also the JSON
+// finite-guard regression: inf/NaN doubles (zero-wall-time campaigns) must
+// never reach the artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/session_report.hpp"
+#include "core/soc.hpp"
+#include "netlist/builder.hpp"
+#include "tam/ate.hpp"
+
+namespace corebist {
+namespace {
+
+Netlist makeToyModule(int twist) {
+  Netlist nl("toy" + std::to_string(twist));
+  Builder b(nl);
+  const Bus x = b.input("x", 12);
+  const Bus q = b.state("q", 12);
+  b.connect(q, b.bw(GateType::kXor, x, b.shiftConst(q, 1 + twist % 3)));
+  b.output("y", q);
+  b.output("p", Bus{b.reduceXor(q)});
+  nl.validate();
+  return nl;
+}
+
+std::unique_ptr<WrappedCore> makeCore(const std::string& name, int twist,
+                                      int modules = 1) {
+  auto core = std::make_unique<WrappedCore>(name);
+  for (int m = 0; m < modules; ++m) core->addModule(makeToyModule(twist + m));
+  return core;
+}
+
+/// `tams` TAMs, `per_tam` flat cores each, plus one nested core under each
+/// TAM's first top-level core.
+std::unique_ptr<Soc> makeMultiTamSoc(int tams, int per_tam) {
+  auto soc = std::make_unique<Soc>("place_soc");
+  for (int t = 1; t < tams; ++t) (void)soc->addTam();
+  std::vector<int> first(static_cast<std::size_t>(tams), -1);
+  for (int c = 0; c < tams * per_tam; ++c) {
+    const int tam = c % tams;
+    const int idx =
+        soc->attachCore(makeCore("c" + std::to_string(c), c), tam);
+    if (first[static_cast<std::size_t>(tam)] < 0) {
+      first[static_cast<std::size_t>(tam)] = idx;
+    }
+  }
+  for (int t = 0; t < tams; ++t) {
+    (void)soc->attachChildCore(makeCore("n" + std::to_string(t), 50 + t),
+                               first[static_cast<std::size_t>(t)]);
+  }
+  return soc;
+}
+
+TEST(Placement, PredictionEqualsMeasuredTapClocks) {
+  // Every scan in the session protocol is fixed-length, so with the default
+  // warmup (dwell covers the whole run, exactly one poll) the cost model is
+  // not an estimate: per-core predicted TCKs equal the measured tap_clocks,
+  // including the doubled wrapper-chain cost of nested (depth-1) cores.
+  auto soc = makeMultiTamSoc(2, 2);
+  SocTestScheduler scheduler(*soc);
+  const TestPlan plan = TestPlan{}.withPatterns(200).withThreads(1);
+  const PlanForecast forecast = scheduler.predict(plan);
+  const SessionReport report = scheduler.run(plan);
+  ASSERT_EQ(forecast.cores.size(), report.cores.size());
+  bool saw_nested = false;
+  for (std::size_t i = 0; i < report.cores.size(); ++i) {
+    EXPECT_EQ(forecast.cores[i].core_index, report.cores[i].core_index);
+    EXPECT_EQ(forecast.cores[i].predicted_tap_clocks,
+              report.cores[i].tap_clocks)
+        << "core " << report.cores[i].core_index << " depth "
+        << report.cores[i].depth;
+    EXPECT_EQ(forecast.cores[i].predicted_bist_cycles,
+              report.cores[i].bist_cycles);
+    if (forecast.cores[i].depth > 0) saw_nested = true;
+  }
+  EXPECT_TRUE(saw_nested);
+  EXPECT_EQ(forecast.predicted_total_tcks, report.total_tap_clocks);
+  // With exact per-core predictions the per-channel actuals match too.
+  for (const TamReport& tr : report.tams) {
+    EXPECT_EQ(tr.predicted_tap_clocks, tr.tap_clocks);
+    EXPECT_EQ(tr.predicted_makespan_tcks, tr.actual_makespan_tcks);
+    for (const ChannelLoad& cl : tr.channel_loads) {
+      EXPECT_EQ(cl.predicted_tcks, cl.actual_tcks);
+    }
+  }
+  EXPECT_EQ(report.predicted_makespan_tcks, report.actual_makespan_tcks);
+}
+
+TEST(Placement, PredictSpendsNoTcks) {
+  auto soc = makeMultiTamSoc(2, 3);
+  SocTestScheduler scheduler(*soc);
+  const std::size_t before = soc->tap().tckCount();
+  const PlanForecast forecast =
+      scheduler.predict(TestPlan{}.withPatterns(300));
+  EXPECT_GT(forecast.predicted_total_tcks, 0u);
+  EXPECT_EQ(soc->tap().tckCount(), before);
+}
+
+TEST(Placement, PredictValidatesLikeRun) {
+  auto soc = makeMultiTamSoc(1, 2);
+  SocTestScheduler scheduler(*soc);
+  TestPlan bad;
+  bad.addCore(99);
+  EXPECT_THROW((void)scheduler.predict(bad), std::invalid_argument);
+  TestPlan wrong_tam;
+  wrong_tam.cores.push_back(CorePlan{.core_index = 0, .tam = 7});
+  EXPECT_THROW((void)scheduler.predict(wrong_tam), std::invalid_argument);
+}
+
+TEST(Placement, PredictedMakespanMonotoneInPatternBudget) {
+  auto soc = makeMultiTamSoc(2, 3);
+  SocTestScheduler scheduler(*soc);
+  std::size_t prev = 0;
+  for (const int patterns : {64, 128, 256, 512}) {
+    for (const PlacementPolicy policy :
+         {PlacementPolicy::kPlanOrder, PlacementPolicy::kMakespan}) {
+      const PlanForecast f = scheduler.predict(TestPlan{}
+                                                   .withPatterns(patterns)
+                                                   .withThreads(4)
+                                                   .withPlacement(policy));
+      EXPECT_GT(f.predicted_makespan_tcks, 0u);
+      if (policy == PlacementPolicy::kPlanOrder) {
+        EXPECT_GT(f.predicted_makespan_tcks, prev)
+            << "patterns " << patterns;
+        prev = f.predicted_makespan_tcks;
+      }
+    }
+  }
+}
+
+TEST(Placement, RespectsChannelLimits) {
+  auto soc = makeMultiTamSoc(2, 4);
+  SocTestScheduler scheduler(*soc);
+  for (const int limit : {1, 2, 3}) {
+    const PlanForecast f = scheduler.predict(TestPlan{}
+                                                 .withPatterns(100)
+                                                 .withThreads(8)
+                                                 .withChannelsPerTam(limit)
+                                                 .withPlacement(
+                                                     PlacementPolicy::kMakespan));
+    ASSERT_EQ(f.tams.size(), 2u);
+    for (const TamForecast& tf : f.tams) {
+      EXPECT_LE(tf.channels, limit);
+      EXPECT_EQ(tf.channel_loads.size(),
+                static_cast<std::size_t>(tf.channels));
+      // Every channel the placement opens carries work.
+      for (const ChannelLoad& cl : tf.channel_loads) {
+        EXPECT_FALSE(cl.cores.empty());
+        EXPECT_GT(cl.predicted_tcks, 0u);
+      }
+    }
+  }
+  // A per-TAM override caps only its TAM.
+  const PlanForecast f =
+      scheduler.predict(TestPlan{}.withPatterns(100).withThreads(8)
+                            .withTamChannels(0, 1));
+  EXPECT_EQ(f.tams[0].channels, 1);
+  EXPECT_GT(f.tams[1].channels, 1);
+}
+
+TEST(Placement, MakespanNeverPredictsWorseThanPlanOrder) {
+  // 20 randomized multi-TAM topologies with heterogeneous pattern budgets:
+  // the kMakespan placement keeps whichever refined candidate predicts the
+  // smaller makespan, so it can never lose to kPlanOrder — per TAM and
+  // overall.
+  std::mt19937 rng(20260808u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int tams = 1 + static_cast<int>(rng() % 3);
+    const int per_tam = 2 + static_cast<int>(rng() % 4);
+    auto soc = makeMultiTamSoc(tams, per_tam);
+    SocTestScheduler scheduler(*soc);
+    TestPlan plan = TestPlan{}.withThreads(8).withChannelsPerTam(
+        1 + static_cast<int>(rng() % 3));
+    for (int c = 0; c < soc->coreCount(); ++c) {
+      plan.addCore(CorePlan{.core_index = c,
+                            .patterns = 32 + static_cast<int>(rng() % 700)});
+    }
+    TestPlan po = plan;
+    TestPlan mk = plan;
+    const PlanForecast fpo =
+        scheduler.predict(po.withPlacement(PlacementPolicy::kPlanOrder));
+    const PlanForecast fmk =
+        scheduler.predict(mk.withPlacement(PlacementPolicy::kMakespan));
+    EXPECT_LE(fmk.predicted_makespan_tcks, fpo.predicted_makespan_tcks)
+        << "trial " << trial;
+    ASSERT_EQ(fmk.tams.size(), fpo.tams.size());
+    for (std::size_t t = 0; t < fmk.tams.size(); ++t) {
+      EXPECT_LE(fmk.tams[t].predicted_makespan_tcks,
+                fpo.tams[t].predicted_makespan_tcks)
+          << "trial " << trial << " tam " << t;
+      // Both policies place all of the TAM's work, just differently.
+      EXPECT_EQ(fmk.tams[t].predicted_tap_clocks,
+                fpo.tams[t].predicted_tap_clocks);
+    }
+  }
+}
+
+TEST(Placement, DeterministicIndexOrderTieBreak) {
+  // Four identical trees on one TAM, three channels: the greedy walk must
+  // fill channels 0, 1, 2 in index order (strict less-than keeps the
+  // lowest-index channel on equal load), and the whole placement must be
+  // reproducible call over call.
+  auto soc = std::make_unique<Soc>("tie_soc");
+  for (int c = 0; c < 4; ++c) {
+    (void)soc->attachCore(makeCore("t" + std::to_string(c), 7));
+  }
+  SocTestScheduler scheduler(*soc);
+  const TestPlan plan = TestPlan{}
+                            .withPatterns(100)
+                            .withThreads(4)
+                            .withChannelsPerTam(3)
+                            .withPlacement(PlacementPolicy::kMakespan);
+  const PlanForecast f = scheduler.predict(plan);
+  ASSERT_EQ(f.tams.size(), 1u);
+  ASSERT_EQ(f.tams[0].channel_loads.size(), 3u);
+  // All four trees cost the same, so the fourth doubles up on channel 0.
+  EXPECT_EQ(f.tams[0].channel_loads[0].cores.size(), 2u);
+  EXPECT_EQ(f.tams[0].channel_loads[1].cores.size(), 1u);
+  EXPECT_EQ(f.tams[0].channel_loads[2].cores.size(), 1u);
+  for (std::size_t ch = 0; ch < 3; ++ch) {
+    EXPECT_EQ(f.tams[0].channel_loads[ch].channel, static_cast<int>(ch));
+  }
+  // Byte-for-byte repeatable placement (pure function of the plan).
+  for (int rep = 0; rep < 3; ++rep) {
+    const PlanForecast g = scheduler.predict(plan);
+    ASSERT_EQ(g.tams[0].channel_loads.size(), 3u);
+    for (std::size_t ch = 0; ch < 3; ++ch) {
+      EXPECT_EQ(g.tams[0].channel_loads[ch].cores,
+                f.tams[0].channel_loads[ch].cores);
+      EXPECT_EQ(g.tams[0].channel_loads[ch].predicted_tcks,
+                f.tams[0].channel_loads[ch].predicted_tcks);
+    }
+  }
+}
+
+TEST(Placement, PolicyNeverChangesCampaignOutcomes) {
+  // Placement moves work between channels; it must never change what the
+  // campaign *finds*. Heterogeneous budgets + a defect + both policies at
+  // several thread counts: all fingerprints equal the serial reference.
+  auto build = [] {
+    auto soc = makeMultiTamSoc(2, 3);
+    soc->core(1).injectDefect(0, 3, GateType::kXnor);
+    return soc;
+  };
+  TestPlan base = TestPlan{}.withChannelsPerTam(2);
+  {
+    auto probe = build();
+    for (int c = 0; c < probe->coreCount(); ++c) {
+      base.addCore(CorePlan{.core_index = c, .patterns = 100 + 60 * c});
+    }
+  }
+  std::string reference;
+  {
+    auto soc = build();
+    TestPlan serial = base;
+    reference = SocTestScheduler(*soc).run(serial.withThreads(1)).fingerprint();
+  }
+  EXPECT_NE(reference.find("\"verdict\": \"signature_mismatch\""),
+            std::string::npos);
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kPlanOrder, PlacementPolicy::kMakespan}) {
+    for (const int threads : {2, 4}) {
+      auto soc = build();
+      TestPlan plan = base;
+      plan.withPlacement(policy).withThreads(threads);
+      const SessionReport report = SocTestScheduler(*soc).run(plan);
+      EXPECT_EQ(report.fingerprint(), reference)
+          << placementPolicyName(policy) << " x" << threads;
+      EXPECT_EQ(report.placement, placementPolicyName(policy));
+    }
+  }
+}
+
+TEST(Placement, FieldsAreTimingGatedOutOfFingerprint) {
+  auto soc = makeMultiTamSoc(2, 2);
+  SocTestScheduler scheduler(*soc);
+  const SessionReport report = scheduler.run(TestPlan{}
+                                                 .withPatterns(100)
+                                                 .withThreads(4)
+                                                 .withPlacement(
+                                                     PlacementPolicy::kMakespan));
+  const std::string json = report.toJson();
+  const std::string fp = report.fingerprint();
+  for (const char* key :
+       {"placement", "predicted_makespan_tcks", "actual_makespan_tcks",
+        "channel_loads", "predicted_tap_clocks"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+    EXPECT_EQ(fp.find(key), std::string::npos) << key;
+  }
+}
+
+/// Captures the placement decision stream.
+struct PlacementObserver final : SessionObserver {
+  struct Placed {
+    int tam;
+    int channel;
+    std::vector<int> cores;
+    std::size_t predicted_tcks;
+  };
+  std::vector<Placed> placed;
+  int campaign_starts = 0;
+  void onCampaignStart(int, int) override { ++campaign_starts; }
+  void onChannelPlaced(int tam, int channel, const std::vector<int>& cores,
+                       std::size_t predicted_tcks) override {
+    EXPECT_EQ(campaign_starts, 1);  // after start, before any core
+    placed.push_back(Placed{tam, channel, cores, predicted_tcks});
+  }
+};
+
+TEST(Placement, ObserverSeesEveryChannelOnceInOrder) {
+  auto soc = makeMultiTamSoc(2, 3);
+  PlacementObserver obs;
+  SocTestScheduler scheduler(*soc, &obs);
+  const SessionReport report = scheduler.run(TestPlan{}
+                                                 .withPatterns(100)
+                                                 .withThreads(4)
+                                                 .withChannelsPerTam(2));
+  ASSERT_FALSE(obs.placed.empty());
+  std::vector<int> seen_cores;
+  for (std::size_t i = 0; i < obs.placed.size(); ++i) {
+    if (i > 0) {
+      const auto& a = obs.placed[i - 1];
+      const auto& b = obs.placed[i];
+      EXPECT_TRUE(a.tam < b.tam || (a.tam == b.tam && a.channel < b.channel));
+    }
+    for (const int c : obs.placed[i].cores) seen_cores.push_back(c);
+  }
+  std::sort(seen_cores.begin(), seen_cores.end());
+  std::vector<int> all;
+  for (const CoreReport& c : report.cores) all.push_back(c.core_index);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(seen_cores, all);
+}
+
+TEST(JsonFinite, ClampsNonFiniteDoubles) {
+  EXPECT_EQ(jsonFinite(1.5), 1.5);
+  EXPECT_EQ(jsonFinite(0.0), 0.0);
+  EXPECT_EQ(jsonFinite(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_EQ(jsonFinite(-std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_EQ(jsonFinite(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST(JsonFinite, ReportJsonSurvivesNonFiniteFields) {
+  // Regression for the zero-wall-time campaign: a report whose doubles went
+  // inf/NaN (utilization = busy / 0, etc.) must still serialize to JSON —
+  // %f would otherwise print bare `inf` / `nan` tokens into the artifact.
+  SessionReport r;
+  r.soc_name = "degenerate";
+  r.wall_seconds = std::numeric_limits<double>::quiet_NaN();
+  r.placement = "plan_order";
+  CoreReport core;
+  core.core_index = 0;
+  core.verdict = CoreVerdict::kPass;
+  core.seconds = std::numeric_limits<double>::infinity();
+  core.coverage_target = 90.0;
+  core.modules.push_back(ModuleVerdict{0x1, 0x1,
+                                       std::numeric_limits<double>::quiet_NaN()});
+  r.cores.push_back(core);
+  TamReport tam;
+  tam.busy_seconds = std::numeric_limits<double>::infinity();
+  tam.utilization = std::numeric_limits<double>::infinity();
+  tam.channel_loads.push_back(ChannelLoad{0, {0}, 100, 100});
+  r.tams.push_back(tam);
+  const std::string json = r.toJson();
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  // The clamped fields are still present (as finite zeros).
+  EXPECT_NE(json.find("\"wall_seconds\": 0.0000"), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\": 0.000"), std::string::npos);
+}
+
+TEST(JsonFinite, LiveZeroWorkCampaignStaysParseable) {
+  // End to end: the fastest real campaign we can run still produces a JSON
+  // artifact free of non-finite tokens even if the clock granularity makes
+  // wall_seconds 0.
+  auto soc = std::make_unique<Soc>("tiny");
+  (void)soc->attachCore(makeCore("only", 1));
+  SocTestScheduler scheduler(*soc);
+  const SessionReport report =
+      scheduler.run(TestPlan{}.withPatterns(1).withThreads(1));
+  const std::string json = report.toJson();
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace corebist
