@@ -25,6 +25,7 @@
 #include "fault/lane.hpp"
 #include "core/soc.hpp"
 #include "netlist/builder.hpp"
+#include "service/service.hpp"
 
 using namespace corebist;
 using namespace corebist::bench;
@@ -327,6 +328,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Service sweep: the same campaign submitted M times, one-shot (a fresh
+  // SocTestScheduler per campaign — every campaign rebuilds lint, fault
+  // universes, golden signatures) vs resident (one CampaignService, two
+  // workers, shared artifact store). Hard gates: every report fingerprints
+  // equal to the serial reference, the resident store actually got cache
+  // hits, and the resident batch beats the one-shot batch.
+  const int service_campaigns = quick ? 4 : 8;
+  std::printf("\nservice sweep (%d campaigns, one-shot vs resident, "
+              "2 workers)\n", service_campaigns);
+  const TestPlan service_plan =
+      TestPlan{}.withPatterns(patterns).withThreads(2);
+  bool service_diverged = false;
+  const Timing oneshot_t = timeRepeats(repeats, [&] {
+    for (int i = 0; i < service_campaigns; ++i) {
+      SocTestScheduler oneshot(*soc);
+      if (oneshot.run(service_plan).fingerprint() != reference) {
+        service_diverged = true;
+      }
+    }
+  });
+  CampaignServiceConfig service_cfg;
+  service_cfg.workers = 2;
+  CampaignService service(*soc, service_cfg);
+  const Timing resident_t = timeRepeats(repeats, [&] {
+    std::vector<CampaignHandle> handles;
+    handles.reserve(static_cast<std::size_t>(service_campaigns));
+    for (int i = 0; i < service_campaigns; ++i) {
+      handles.push_back(service.submit(service_plan));
+    }
+    for (const CampaignHandle h : handles) {
+      if (service.await(h).fingerprint() != reference) {
+        service_diverged = true;
+      }
+    }
+  });
+  if (service_diverged) {
+    std::fprintf(stderr,
+                 "FATAL: a service-sweep campaign diverged from the serial "
+                 "reference\n");
+    return 1;
+  }
+  const ArtifactStats service_stats = service.artifactStats();
+  if (!(service_stats.hitRate() > 0.0)) {
+    std::fprintf(stderr,
+                 "FATAL: resident service recorded no artifact cache hits\n");
+    return 1;
+  }
+  if (resident_t.median >= oneshot_t.median) {
+    std::fprintf(stderr,
+                 "FATAL: resident service (%0.3fs) did not beat one-shot "
+                 "(%0.3fs) over %d campaigns\n",
+                 resident_t.median, oneshot_t.median, service_campaigns);
+    return 1;
+  }
+  const double oneshot_cps =
+      oneshot_t.median > 0 ? service_campaigns / oneshot_t.median : 0.0;
+  const double resident_cps =
+      resident_t.median > 0 ? service_campaigns / resident_t.median : 0.0;
+  std::printf("  one-shot  %7.3fs med (%7.3fs min)  %6.2f campaigns/s\n",
+              oneshot_t.median, oneshot_t.min, oneshot_cps);
+  std::printf("  resident  %7.3fs med (%7.3fs min)  %6.2f campaigns/s  "
+              "hit rate %.2f\n",
+              resident_t.median, resident_t.min, resident_cps,
+              service_stats.hitRate());
+
   std::FILE* f = std::fopen("BENCH_soc.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_soc.json for writing\n");
@@ -402,7 +468,25 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "]}%s\n", i + 1 < place_rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"service\": {\"campaigns\": %d, \"workers\": 2,\n"
+               "    \"oneshot\": {\"seconds_median\": %.4f, "
+               "\"seconds_min\": %.4f, \"campaigns_per_sec\": %.2f},\n"
+               "    \"resident\": {\"seconds_median\": %.4f, "
+               "\"seconds_min\": %.4f, \"campaigns_per_sec\": %.2f,\n"
+               "      \"artifact_cache_hit_rate\": %.4f, "
+               "\"artifact_hits\": %llu, \"artifact_misses\": %llu,\n"
+               "      \"modules_built\": %llu, \"modules_shared\": %llu}}\n",
+               service_campaigns, jsonFinite(oneshot_t.median),
+               jsonFinite(oneshot_t.min), jsonFinite(oneshot_cps),
+               jsonFinite(resident_t.median), jsonFinite(resident_t.min),
+               jsonFinite(resident_cps), jsonFinite(service_stats.hitRate()),
+               static_cast<unsigned long long>(service_stats.hits),
+               static_cast<unsigned long long>(service_stats.misses),
+               static_cast<unsigned long long>(service_stats.modules_built),
+               static_cast<unsigned long long>(service_stats.modules_shared));
+  std::fprintf(f, "}\n");
   std::fclose(f);
 
   std::printf("\nspeedup at 4 shards vs serial: %.2fx "

@@ -1,74 +1,45 @@
-// Plan-driven concurrent SoC test campaigns (the sharded Fig. 1 ATE).
+// Plan-driven SoC test campaigns (the sharded Fig. 1 ATE) — one-shot
+// facade over the resident CampaignService.
 //
-// SocTestScheduler consumes a TestPlan and places its core entries onto
-// TAM channels (core/session_channel.hpp): entries are grouped by core
-// *tree* (cores sharing a top-level ancestor share one wrapper chain and
-// one clock domain, so a tree is the unit of placement and runs in plan
-// order on one channel), groups on the same TAM run on up to that TAM's
-// channel limit concurrently, and groups on different TAMs are fully
-// independent. Worker threads — bounded by TestPlan::num_threads — drive
-// the channels; golden-signature computation and at-speed BIST emulation
-// for different trees overlap. The only cross-channel aggregation is TCK
-// accounting: per-core counts are summed into the SessionReport (overall
-// and per TAM) and credited back to the chip TAP.
+// SocTestScheduler keeps the original blocking API: run(plan) executes one
+// campaign and returns its SessionReport. Since the service refactor it is
+// a thin facade — resolution, placement, channel execution and aggregation
+// all live in src/service/ (layout.hpp + service.hpp); run() spins up a
+// per-call CampaignService whose worker budget equals the plan's
+// num_threads, submits the plan as the only campaign, and awaits it. What
+// the facade adds over calling the service directly is persistence of the
+// *artifact* layer: the scheduler owns an ArtifactStore shared across its
+// run() calls, so repeated campaigns on one scheduler skip re-deriving
+// lint, fault universes, golden signatures and coverage (all
+// fingerprint-invisible — see service/artifacts.hpp).
 //
 // Determinism: every CoreReport is a function of (core-tree state, plan
 // entry) alone — each attempt starts from TAP reset and a BIST kReset, and
 // a tree's entries execute in plan order on one channel — so campaigns are
-// byte-identical to the serial path under any thread count and any TAM /
-// channel-limit configuration (SessionReport::fingerprint(); enforced by
-// tests/soc_scheduler_test.cpp and tests/hier_tam_test.cpp).
+// byte-identical to the serial path under any thread count, any TAM /
+// channel-limit configuration and any service pool size
+// (SessionReport::fingerprint(); enforced by tests/soc_scheduler_test.cpp,
+// tests/hier_tam_test.cpp and tests/service_test.cpp).
 #ifndef COREBIST_CORE_SCHEDULER_HPP_
 #define COREBIST_CORE_SCHEDULER_HPP_
 
-#include <string>
-#include <vector>
+#include <memory>
 
 #include "core/session_observer.hpp"
 #include "core/session_report.hpp"
 #include "core/soc.hpp"
 #include "core/test_plan.hpp"
+#include "service/layout.hpp"
 
 namespace corebist {
 
-/// Predicted cost of one plan entry (what-if output; plan order).
-struct CoreForecast {
-  int core_index = -1;
-  int tam = 0;
-  int depth = 0;
-  std::size_t predicted_tap_clocks = 0;  // P1500Ate cost-model session cost
-  std::size_t predicted_bist_cycles = 0;
-};
-
-/// Predicted placement for one TAM: the channel loads the scheduler would
-/// apply (ChannelLoad::actual_tcks stays 0 — nothing ran).
-struct TamForecast {
-  int tam_index = 0;
-  std::string name;
-  int channels = 1;  // concurrent channels the placement uses
-  std::vector<ChannelLoad> channel_loads;  // ascending channel ordinal
-  std::size_t predicted_tap_clocks = 0;    // summed over the TAM's cores
-  std::size_t predicted_makespan_tcks = 0;  // max channel load
-};
-
-/// What-if result of SocTestScheduler::predict: the placement a plan would
-/// get and its predicted makespan, computed purely from the P1500Ate cost
-/// model — no channel is opened, no core is clocked. The makespan assumes
-/// one worker per channel; TestPlan::num_threads bounds real concurrency.
-struct PlanForecast {
-  PlacementPolicy placement = PlacementPolicy::kPlanOrder;
-  std::vector<CoreForecast> cores;  // plan order
-  std::vector<TamForecast> tams;    // ascending TAM index; only TAMs with work
-  std::size_t predicted_total_tcks = 0;
-  std::size_t predicted_makespan_tcks = 0;  // max over every channel
-};
+class ArtifactStore;
 
 class SocTestScheduler {
  public:
   /// `observer` (optional) receives serialized progress callbacks; it must
   /// outlive the scheduler's run() calls.
-  explicit SocTestScheduler(Soc& soc, SessionObserver* observer = nullptr)
-      : soc_(soc), observer_(observer) {}
+  explicit SocTestScheduler(Soc& soc, SessionObserver* observer = nullptr);
 
   /// Run the campaign. Throws std::invalid_argument for plans that name
   /// unknown cores, assign a core to a TAM that does not serve it, carry
@@ -87,9 +58,15 @@ class SocTestScheduler {
   /// sentinel field.
   [[nodiscard]] CoreReport testCore(CorePlan entry);
 
+  /// The artifact store shared across this scheduler's campaigns.
+  [[nodiscard]] const std::shared_ptr<ArtifactStore>& artifacts() const noexcept {
+    return artifacts_;
+  }
+
  private:
   Soc& soc_;
   SessionObserver* observer_;
+  std::shared_ptr<ArtifactStore> artifacts_;
 };
 
 }  // namespace corebist

@@ -6,6 +6,7 @@
 
 #include "fault/failpoint.hpp"
 #include "fault/fault.hpp"
+#include "service/artifacts.hpp"
 
 namespace corebist {
 
@@ -38,9 +39,11 @@ void fireChannelSite(const char* site, int core_index, std::int64_t seq,
 
 }  // namespace
 
-SessionChannel::SessionChannel(Soc& soc, int tam_index)
+SessionChannel::SessionChannel(Soc& soc, int tam_index,
+                               ArtifactStore* artifacts)
     : soc_(soc),
       tam_index_(tam_index),
+      artifacts_(artifacts),
       tap_(soc.tap().irWidth(), soc.tap().idcode()),
       tam_(tap_, soc.tam(tam_index).irSelect(), soc.tam(tam_index).name()),
       ate_(tap_, tam_.irSelect()) {
@@ -125,7 +128,12 @@ CoreReport SessionChannel::testCore(const CorePlan& p,
                        static_cast<std::uint16_t>(m));
       ModuleVerdict verdict;
       verdict.signature = ate_.readWdr();
-      verdict.golden = core.goldenSignature(m, p.patterns);
+      // The golden signature is the good-machine simulation every uncached
+      // campaign pays per core; the shared artifact store memoizes it per
+      // (module content, patterns).
+      verdict.golden = artifacts_ != nullptr
+                           ? artifacts_->goldenSignature(core, m, p.patterns)
+                           : core.goldenSignature(m, p.patterns);
       if (!verdict.pass()) report.verdict = CoreVerdict::kSignatureMismatch;
       report.modules.push_back(verdict);
     }
@@ -147,7 +155,6 @@ void SessionChannel::measureCoverage(const WrappedCore& core,
                                      const CorePlan& p, CoreReport& report) {
   report.coverage_target = p.coverage_target;
   for (int m = 0; m < core.moduleCount(); ++m) {
-    const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
     // Backend and worker count come from the resolved plan entry; the plan
     // default is one serial worker — the channel itself is the unit of
     // parallelism — but big-module plans can opt into the threaded,
@@ -160,9 +167,17 @@ void SessionChannel::measureCoverage(const WrappedCore& core,
     bopts.max_shard_retries = p.max_shard_retries >= 0 ? p.max_shard_retries : 2;
     bopts.backoff_base_ms = p.backoff_base_ms >= 0 ? p.backoff_base_ms : 1;
     bopts.degrade_on_failure = p.degrade_on_failure.value_or(true);
-    const FaultSimResult r =
-        core.engine().signatureCoverage(m, u.faults, p.patterns, bopts);
-    const double coverage = r.misrCoverage();
+    double coverage;
+    if (artifacts_ != nullptr) {
+      // Memoized per (module content, patterns): coverage is
+      // backend-invariant, so bopts only steers how a miss is computed.
+      coverage = artifacts_->signatureCoverage(core, m, p.patterns, bopts);
+    } else {
+      const FaultUniverse u = enumerateStuckAt(core.engine().module(m));
+      coverage =
+          core.engine().signatureCoverage(m, u.faults, p.patterns, bopts)
+              .misrCoverage();
+    }
     report.modules[static_cast<std::size_t>(m)].coverage = coverage;
     if (coverage < p.coverage_target) report.coverage_met = false;
   }

@@ -29,6 +29,8 @@
 
 namespace corebist {
 
+class ArtifactStore;
+
 /// Structured failure of the test-access infrastructure under one core's
 /// session — the channel (replica TAP/TAM/ATE plumbing), not the core under
 /// test, is what failed. The scheduler treats it as recoverable: reopen a
@@ -59,7 +61,13 @@ class SessionChannel {
   /// Open a channel onto `soc` through TAM `tam_index`. The replica TAM
   /// attaches the same top-level wrappers under the same slot numbers as
   /// the chip TAM, so CoreTopology select paths are valid verbatim.
-  explicit SessionChannel(Soc& soc, int tam_index = 0);
+  /// `artifacts` (optional, not owned, must outlive the channel) serves
+  /// golden signatures and coverage values from the shared content-keyed
+  /// cache instead of recomputing them per campaign; a hit is
+  /// fingerprint-invisible — the cache key covers every input the value
+  /// depends on (see service/artifacts.hpp).
+  explicit SessionChannel(Soc& soc, int tam_index = 0,
+                          ArtifactStore* artifacts = nullptr);
 
   /// Run one resolved plan entry's full protocol (all attempts) and
   /// report. `entry.core_index` must name a core served by this channel's
@@ -81,6 +89,7 @@ class SessionChannel {
 
   Soc& soc_;
   int tam_index_;
+  ArtifactStore* artifacts_;
   TapController tap_;
   Tam tam_;
   P1500Ate ate_;

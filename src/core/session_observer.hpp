@@ -11,6 +11,9 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/session_report.hpp"
@@ -48,49 +51,79 @@ class SessionObserver {
 };
 
 /// Prints one line per event to a stdio stream (default stdout).
+///
+/// Each event is formatted into one buffer and emitted with a single
+/// fputs under a member mutex, so lines from concurrent campaigns sharing
+/// one StreamObserver (the resident service's multi-tenant console case)
+/// never interleave mid-line. `label` (optional, e.g. a campaign id)
+/// prefixes every line so interleaved campaigns stay attributable.
 class StreamObserver final : public SessionObserver {
  public:
-  explicit StreamObserver(std::FILE* out = stdout) : out_(out) {}
+  explicit StreamObserver(std::FILE* out = stdout, std::string label = {})
+      : out_(out), label_(std::move(label)) {}
 
   void onCampaignStart(int cores, int threads) override {
-    std::fprintf(out_, "[campaign] %d core(s) on %d shard(s)\n", cores,
-                 threads);
+    std::ostringstream os;
+    os << "[campaign] " << cores << " core(s) on " << threads << " shard(s)";
+    emit(os.str());
   }
   void onChannelPlaced(int tam, int channel, const std::vector<int>& cores,
                        std::size_t predicted_tcks) override {
-    std::fprintf(out_, "[tam %d ch %d]", tam, channel);
-    for (const int c : cores) std::fprintf(out_, " core %d", c);
-    std::fprintf(out_, " (%zu predicted TCKs)\n", predicted_tcks);
+    std::ostringstream os;
+    os << "[tam " << tam << " ch " << channel << "]";
+    for (const int c : cores) os << " core " << c;
+    os << " (" << predicted_tcks << " predicted TCKs)";
+    emit(os.str());
   }
   void onCoreStart(int core_index, int attempt) override {
     if (attempt > 1) {
-      std::fprintf(out_, "[core %d] retry (attempt %d)\n", core_index,
-                   attempt);
+      std::ostringstream os;
+      os << "[core " << core_index << "] retry (attempt " << attempt << ")";
+      emit(os.str());
     }
   }
   void onCoreTimeout(int core_index, int attempt, bool will_retry) override {
-    std::fprintf(out_, "[core %d] attempt %d timed out%s\n", core_index,
-                 attempt, will_retry ? ", retrying" : "");
+    std::ostringstream os;
+    os << "[core " << core_index << "] attempt " << attempt << " timed out"
+       << (will_retry ? ", retrying" : "");
+    emit(os.str());
   }
   void onChannelFailure(int core_index, int failures,
                         bool will_retry) override {
-    std::fprintf(out_, "[core %d] channel failure %d%s\n", core_index,
-                 failures, will_retry ? ", reopening channel" : "");
+    std::ostringstream os;
+    os << "[core " << core_index << "] channel failure " << failures
+       << (will_retry ? ", reopening channel" : "");
+    emit(os.str());
   }
   void onCoreQuarantined(int core_index, int failures) override {
-    std::fprintf(out_, "[core %d] QUARANTINED after %d channel failure(s)\n",
-                 core_index, failures);
+    std::ostringstream os;
+    os << "[core " << core_index << "] QUARANTINED after " << failures
+       << " channel failure(s)";
+    emit(os.str());
   }
   void onCoreFinish(const CoreReport& report) override {
-    std::fprintf(out_, "[core %d] %s\n", report.core_index,
-                 report.summary().c_str());
+    std::ostringstream os;
+    os << "[core " << report.core_index << "] " << report.summary();
+    emit(os.str());
   }
   void onCampaignFinish(const SessionReport& report) override {
-    std::fprintf(out_, "[campaign] %s\n", report.summary().c_str());
+    emit("[campaign] " + report.summary());
   }
 
  private:
+  void emit(const std::string& line) {
+    std::string full;
+    full.reserve(label_.size() + line.size() + 4);
+    if (!label_.empty()) full += "[" + label_ + "] ";
+    full += line;
+    full += '\n';
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::fputs(full.c_str(), out_);
+  }
+
   std::FILE* out_;
+  std::string label_;
+  std::mutex mu_;
 };
 
 }  // namespace corebist

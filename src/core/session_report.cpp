@@ -252,6 +252,12 @@ std::string writeReport(const SessionReport& r, bool include_timing) {
 
 }  // namespace
 
+std::string coreReportJson(const CoreReport& report, bool include_timing) {
+  std::ostringstream os;
+  writeCore(os, report, include_timing);
+  return os.str();
+}
+
 std::string SessionReport::toJson() const { return writeReport(*this, true); }
 
 std::string SessionReport::fingerprint() const {

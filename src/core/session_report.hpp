@@ -88,6 +88,13 @@ struct CoreReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// JSON export of one core record — the same object shape SessionReport's
+/// "cores" array carries, emitted standalone so the service layer can
+/// stream per-core results incrementally while a campaign runs.
+/// `include_timing=false` yields the fingerprint subset.
+[[nodiscard]] std::string coreReportJson(const CoreReport& report,
+                                         bool include_timing = true);
+
 /// One TAM channel's share of a campaign under the scheduler's placement:
 /// which cores it ran serially (execution order) and its predicted vs
 /// actual TCK load. Placement is a scheduling artifact like utilization,

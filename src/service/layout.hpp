@@ -1,0 +1,154 @@
+// Campaign layout: plan resolution, tree grouping and channel placement.
+//
+// Extracted from SocTestScheduler (which is now a one-shot facade over
+// CampaignService) so the resident service and the facade share one
+// resolution + placement pass: concretize plan entries against the SoC
+// (sentinel inheritance, validation, artifact-gated structural lint),
+// group entries by core tree (cores sharing a top-level ancestor share one
+// wrapper chain and clock domain — the unit of placement), predict every
+// entry's TCK cost with the P1500Ate cost model, and partition each TAM's
+// trees over its channels under the plan's PlacementPolicy. The resulting
+// ChannelUnits are the service's unit of scheduling: one unit = one TAM
+// channel's serial work list, claimed whole by a reactor worker.
+//
+// Everything here is a pure function of (plan, SoC topology, cost model):
+// deterministic tie-breaks, no wall-clock feedback, so the same plan always
+// yields the same layout regardless of pool size or tenant interleaving —
+// the bedrock of the service's fingerprint guarantee.
+#ifndef COREBIST_SERVICE_LAYOUT_HPP_
+#define COREBIST_SERVICE_LAYOUT_HPP_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/session_channel.hpp"
+#include "core/session_observer.hpp"
+#include "core/session_report.hpp"
+#include "core/soc.hpp"
+#include "core/test_plan.hpp"
+#include "tam/ate.hpp"
+
+namespace corebist {
+
+class ArtifactStore;
+
+/// Predicted cost of one plan entry (what-if output; plan order).
+struct CoreForecast {
+  int core_index = -1;
+  int tam = 0;
+  int depth = 0;
+  std::size_t predicted_tap_clocks = 0;  // P1500Ate cost-model session cost
+  std::size_t predicted_bist_cycles = 0;
+};
+
+/// Predicted placement for one TAM: the channel loads the scheduler would
+/// apply (ChannelLoad::actual_tcks stays 0 — nothing ran).
+struct TamForecast {
+  int tam_index = 0;
+  std::string name;
+  int channels = 1;  // concurrent channels the placement uses
+  std::vector<ChannelLoad> channel_loads;  // ascending channel ordinal
+  std::size_t predicted_tap_clocks = 0;    // summed over the TAM's cores
+  std::size_t predicted_makespan_tcks = 0;  // max channel load
+};
+
+/// What-if result of predict(): the placement a plan would get and its
+/// predicted makespan, computed purely from the P1500Ate cost model — no
+/// channel is opened, no core is clocked. The makespan assumes one worker
+/// per channel; the worker budget bounds real concurrency.
+struct PlanForecast {
+  PlacementPolicy placement = PlacementPolicy::kPlanOrder;
+  std::vector<CoreForecast> cores;  // plan order
+  std::vector<TamForecast> tams;    // ascending TAM index; only TAMs with work
+  std::size_t predicted_total_tcks = 0;
+  std::size_t predicted_makespan_tcks = 0;  // max over every channel
+};
+
+/// The unit of placement: one core tree's entries, in plan order. Cores
+/// sharing a top-level ancestor share a wrapper chain and clock domain, so
+/// they must never be driven by two channels at once. `root` is the
+/// top-level ancestor's core index — the service keys its per-tree
+/// serialization locks on it.
+struct TreeGroup {
+  int tam = 0;
+  int root = -1;
+  std::vector<std::size_t> entry_idx;
+  std::size_t predicted_tcks = 0;  // summed P1500Ate cost-model load
+};
+
+/// One TAM channel's work list: tree groups that run serially on a single
+/// SessionChannel. The executable unit the reactor workers claim and the
+/// grain of the predicted/actual makespan accounting.
+struct ChannelUnit {
+  int tam = 0;
+  int channel = 0;                 // ordinal within the TAM
+  std::vector<int> group_idx;      // groups, ascending plan order
+  std::size_t predicted_tcks = 0;  // summed group predictions
+};
+
+/// Everything execution and prediction share: the resolved entries, their
+/// predicted costs, the tree groups and the channel placement.
+struct CampaignLayout {
+  std::vector<CorePlan> entries;
+  std::vector<P1500Ate::SessionCost> entry_costs;  // parallel to entries
+  std::vector<TreeGroup> groups;
+  std::vector<ChannelUnit> units;  // ascending (tam, channel)
+  std::vector<int> channels_per_tam;  // 0 for TAMs with no work
+  int threads = 1;  // worker budget capped by the available work
+
+  /// Summed predicted TCKs over every entry — the admission-control load
+  /// number quotas are charged against.
+  [[nodiscard]] std::size_t predictedTotalTcks() const;
+};
+
+/// The worker budget a plan implies for the one-shot facade:
+/// `num_threads` (0 = hardware concurrency), clamped to >= 1. The resident
+/// service ignores this and uses its fixed pool size instead.
+[[nodiscard]] int resolvePlanWorkers(const TestPlan& plan);
+
+/// Resolve + validate `plan` against `soc` and place its work under a
+/// budget of `worker_budget` concurrent workers. Throws
+/// std::invalid_argument for plans that name unknown or duplicated cores,
+/// assign a core to a TAM that does not serve it, carry invalid channel
+/// limits, request pattern budgets beyond a core's counter capacity, or
+/// reference a module failing structural lint. `artifacts` (optional)
+/// serves the lint gate from the shared cache.
+[[nodiscard]] CampaignLayout layoutCampaign(const TestPlan& plan, Soc& soc,
+                                            int worker_budget,
+                                            ArtifactStore* artifacts = nullptr);
+
+/// Project a layout into the what-if forecast shape (zero TCKs spent).
+[[nodiscard]] PlanForecast forecastFromLayout(const CampaignLayout& layout,
+                                              Soc& soc,
+                                              PlacementPolicy placement);
+
+/// Fill `report`'s aggregate fields from the per-core records: TCK totals,
+/// per-TAM slices in ascending TAM index (plan order within each) and the
+/// predicted-vs-actual channel/makespan accounting. wall_seconds must
+/// already be set (utilization divides by it); threads/placement/soc_name
+/// are the caller's.
+void aggregateSessionReport(SessionReport& report,
+                            const CampaignLayout& layout, Soc& soc);
+
+/// Run one core with channel-level self-healing. A SessionChannelError
+/// means the test-access plumbing (not the core) failed, so the suspect
+/// channel is dropped, a fresh replica is opened, and the core is re-run
+/// from the top — CoreReport attempts/polls reset with the channel, which
+/// is what keeps a recovered core's fingerprint identical to a never-failed
+/// run. After `entry.max_shard_retries` reopens the core is quarantined
+/// (verdict kQuarantined, identity fields only, zero TCK/at-speed
+/// accounting so campaign totals stay deterministic) — or, when the plan
+/// sets degrade_on_failure=false, the error propagates and fails the
+/// campaign. All other exception types propagate untouched. `artifacts`
+/// (optional) is threaded into every channel this call opens.
+CoreReport testCoreResilient(Soc& soc, std::unique_ptr<SessionChannel>& ch,
+                             const CorePlan& entry, SessionObserver* observer,
+                             std::mutex& observer_mu,
+                             ArtifactStore* artifacts = nullptr);
+
+}  // namespace corebist
+
+#endif  // COREBIST_SERVICE_LAYOUT_HPP_

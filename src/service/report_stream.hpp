@@ -1,0 +1,99 @@
+// Streaming campaign results over the checksummed wire format.
+//
+// A resident CampaignService serves tenants that want results as they form,
+// not one blocking SessionReport at the end. WireReportStream is a
+// SessionObserver that serializes every campaign event — including each
+// finished CoreReport as incremental JSON and the final SessionReport — as
+// a framed, checksummed message on a file descriptor (a pipe to the tenant
+// today, a socket tomorrow).
+//
+// Frames reuse the exact shape of the process-backend wire protocol
+// (fault/process_wire.hpp): a 16-byte header
+//
+//   {u32 magic = 0xC0B15703, u32 event kind, u32 payload_bytes,
+//    u32 fnv1a(payload)}
+//
+// followed by the payload: a u64 campaign id, then the event's JSON text.
+// The campaign id rides in every frame because one fd may carry interleaved
+// streams from many concurrent campaigns; the FNV-1a payload checksum makes
+// transport corruption a structured decode error, never silently wrong
+// results. Frames are written atomically under a per-stream mutex, so
+// events from different worker threads (or different campaigns sharing a
+// stream) never shear mid-frame.
+#ifndef COREBIST_SERVICE_REPORT_STREAM_HPP_
+#define COREBIST_SERVICE_REPORT_STREAM_HPP_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/session_observer.hpp"
+
+namespace corebist {
+
+/// Event kinds carried in the frame header, one per SessionObserver
+/// callback.
+enum class StreamEventKind : std::uint32_t {
+  kCampaignStart = 1,
+  kChannelPlaced = 2,
+  kCoreStart = 3,
+  kCoreTimeout = 4,
+  kChannelFailure = 5,
+  kCoreQuarantined = 6,
+  kCoreFinish = 7,
+  kCampaignFinish = 8,
+};
+
+[[nodiscard]] const char* streamEventKindName(StreamEventKind k) noexcept;
+
+/// Magic word of report-stream frames (next to the process-backend's
+/// kReqMagic/kRespMagic so a frame on the wrong pipe is detected).
+inline constexpr std::uint32_t kReportStreamMagic = 0xC0B15703u;
+
+/// SessionObserver that frames every event onto `fd`. The stream does not
+/// own the descriptor — the tenant opened it, the tenant closes it (after
+/// awaiting the campaign). Write errors (EPIPE: reader gone) latch the
+/// stream into a dropped state and are otherwise ignored: a tenant
+/// abandoning its stream must never fail the campaign.
+class WireReportStream final : public SessionObserver {
+ public:
+  WireReportStream(int fd, std::uint64_t campaign_id);
+
+  void onCampaignStart(int cores, int threads) override;
+  void onChannelPlaced(int tam, int channel, const std::vector<int>& cores,
+                       std::size_t predicted_tcks) override;
+  void onCoreStart(int core_index, int attempt) override;
+  void onCoreTimeout(int core_index, int attempt, bool will_retry) override;
+  void onChannelFailure(int core_index, int failures, bool will_retry) override;
+  void onCoreQuarantined(int core_index, int failures) override;
+  void onCoreFinish(const CoreReport& report) override;
+  void onCampaignFinish(const SessionReport& report) override;
+
+  /// True once a frame write failed (the reader closed its end); later
+  /// events are dropped silently.
+  [[nodiscard]] bool dropped() const noexcept { return dropped_; }
+
+ private:
+  void emit(StreamEventKind kind, const std::string& json);
+
+  int fd_;
+  std::uint64_t campaign_id_;
+  std::mutex mu_;
+  bool dropped_ = false;
+};
+
+/// One decoded report-stream frame.
+struct StreamEvent {
+  StreamEventKind kind = StreamEventKind::kCampaignStart;
+  std::uint64_t campaign_id = 0;
+  std::string json;
+};
+
+/// Blocking read of the next frame from `fd`. Returns false on clean EOF
+/// (writer closed between frames); throws std::runtime_error on a torn
+/// frame, bad magic or checksum mismatch.
+bool readStreamEvent(int fd, StreamEvent& out);
+
+}  // namespace corebist
+
+#endif  // COREBIST_SERVICE_REPORT_STREAM_HPP_

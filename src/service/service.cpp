@@ -1,0 +1,397 @@
+#include "service/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <optional>
+
+#include "core/session_channel.hpp"
+#include "service/report_stream.hpp"
+#include "tam/ate.hpp"
+
+namespace corebist {
+
+const char* campaignStateName(CampaignState s) noexcept {
+  switch (s) {
+    case CampaignState::kQueued:
+      return "queued";
+    case CampaignState::kRunning:
+      return "running";
+    case CampaignState::kDone:
+      return "done";
+    case CampaignState::kFailed:
+      return "failed";
+    case CampaignState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// One admitted campaign: its resolved layout, the report being filled,
+/// and its observer bundle. The Mux fans every session event out to the
+/// tenant's observer and the optional wire stream; all calls into it are
+/// serialized under `observer_mu` (testCoreResilient locks it, and the
+/// service locks it for the start/placement/finish events it fires
+/// itself), which is also the lock detach happens under — after finalize
+/// clears `user_observer`, no callback can reach the tenant's object.
+struct CampaignService::Campaign {
+  struct Mux final : SessionObserver {
+    Campaign* c;
+    explicit Mux(Campaign* owner) : c(owner) {}
+    void onCampaignStart(int cores, int threads) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onCampaignStart(cores, threads);
+      }
+      if (c->stream) c->stream->onCampaignStart(cores, threads);
+    }
+    void onChannelPlaced(int tam, int channel, const std::vector<int>& cores,
+                         std::size_t predicted_tcks) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onChannelPlaced(tam, channel, cores, predicted_tcks);
+      }
+      if (c->stream) {
+        c->stream->onChannelPlaced(tam, channel, cores, predicted_tcks);
+      }
+    }
+    void onCoreStart(int core_index, int attempt) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onCoreStart(core_index, attempt);
+      }
+      if (c->stream) c->stream->onCoreStart(core_index, attempt);
+    }
+    void onCoreTimeout(int core_index, int attempt, bool will_retry) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onCoreTimeout(core_index, attempt, will_retry);
+      }
+      if (c->stream) c->stream->onCoreTimeout(core_index, attempt, will_retry);
+    }
+    void onChannelFailure(int core_index, int failures,
+                          bool will_retry) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onChannelFailure(core_index, failures, will_retry);
+      }
+      if (c->stream) {
+        c->stream->onChannelFailure(core_index, failures, will_retry);
+      }
+    }
+    void onCoreQuarantined(int core_index, int failures) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onCoreQuarantined(core_index, failures);
+      }
+      if (c->stream) c->stream->onCoreQuarantined(core_index, failures);
+    }
+    void onCoreFinish(const CoreReport& report) override {
+      if (c->user_observer != nullptr) c->user_observer->onCoreFinish(report);
+      if (c->stream) c->stream->onCoreFinish(report);
+    }
+    void onCampaignFinish(const SessionReport& report) override {
+      if (c->user_observer != nullptr) {
+        c->user_observer->onCampaignFinish(report);
+      }
+      if (c->stream) c->stream->onCampaignFinish(report);
+    }
+  };
+
+  std::uint64_t id = 0;
+  std::string tenant;
+  CampaignState state = CampaignState::kQueued;  // guarded by service mu_
+  std::atomic<bool> cancel_requested{false};
+  CampaignLayout layout;
+  SessionReport report;  // cores[] written by workers on disjoint indices
+  std::size_t predicted_total_tcks = 0;
+  std::size_t units_done = 0;  // guarded by service mu_
+  std::atomic<int> cores_done{0};
+  std::exception_ptr error;  // first failure; guarded by service mu_
+  std::chrono::steady_clock::time_point t0{};
+
+  std::mutex observer_mu;
+  SessionObserver* user_observer = nullptr;  // guarded by observer_mu
+  std::optional<WireReportStream> stream;
+  Mux mux{this};
+};
+
+CampaignService::CampaignService(Soc& soc, CampaignServiceConfig config)
+    : soc_(soc),
+      workers_(config.workers < 1 ? 1 : config.workers),
+      default_quota_(config.default_quota),
+      tenant_quotas_(std::move(config.tenant_quotas)),
+      artifacts_(config.artifacts != nullptr
+                     ? std::move(config.artifacts)
+                     : std::make_shared<ArtifactStore>()),
+      tree_mu_(std::make_unique<std::mutex[]>(
+          soc.coreCount() > 0 ? static_cast<std::size_t>(soc.coreCount())
+                              : 1)) {
+  pool_.reserve(static_cast<std::size_t>(workers_));
+  for (int t = 0; t < workers_; ++t) {
+    pool_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+CampaignService::~CampaignService() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    for (auto& [id, c] : campaigns_) {
+      if (c->state == CampaignState::kQueued ||
+          c->state == CampaignState::kRunning) {
+        c->cancel_requested.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& th : pool_) th.join();
+}
+
+TenantQuota CampaignService::quotaFor(const std::string& tenant) const {
+  const auto it = tenant_quotas_.find(tenant);
+  return it != tenant_quotas_.end() ? it->second : default_quota_;
+}
+
+std::shared_ptr<CampaignService::Campaign> CampaignService::findLocked(
+    std::uint64_t id) const {
+  const auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) {
+    throw std::out_of_range("CampaignService: no campaign with id " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+CampaignHandle CampaignService::submit(const TestPlan& plan,
+                                       const SubmitOptions& opts) {
+  // Resolve outside the lock: layout is the expensive part (lint, cost
+  // model) and must never stall the reactor or other submitters.
+  auto c = std::make_shared<Campaign>();
+  c->layout = layoutCampaign(plan, soc_, workers_, artifacts_.get());
+  c->predicted_total_tcks = c->layout.predictedTotalTcks();
+  c->tenant = opts.tenant;
+  c->user_observer = opts.observer;
+  c->report.soc_name = soc_.name();
+  c->report.threads = c->layout.threads;
+  c->report.placement = std::string(placementPolicyName(plan.placement));
+  c->report.cores.resize(c->layout.entries.size());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    throw AdmissionError(AdmissionError::Reason::kShuttingDown, opts.tenant,
+                         "service is shutting down");
+  }
+  const TenantQuota quota = quotaFor(opts.tenant);
+  TenantUsage& use = tenants_[opts.tenant];
+  if (quota.max_in_flight > 0 && use.in_flight >= quota.max_in_flight) {
+    throw AdmissionError(
+        AdmissionError::Reason::kInFlightQuota, opts.tenant,
+        "tenant '" + opts.tenant + "' already has " +
+            std::to_string(use.in_flight) + " campaign(s) in flight (max " +
+            std::to_string(quota.max_in_flight) + ")");
+  }
+  if (quota.max_predicted_tcks > 0 &&
+      use.predicted_tcks + c->predicted_total_tcks >
+          quota.max_predicted_tcks) {
+    throw AdmissionError(
+        AdmissionError::Reason::kPredictedTckQuota, opts.tenant,
+        "tenant '" + opts.tenant + "' predicted-TCK budget exceeded: " +
+            std::to_string(use.predicted_tcks) + " in flight + " +
+            std::to_string(c->predicted_total_tcks) + " requested > " +
+            std::to_string(quota.max_predicted_tcks));
+  }
+  c->id = next_id_++;
+  if (opts.stream_fd >= 0) c->stream.emplace(opts.stream_fd, c->id);
+  use.in_flight += 1;
+  use.predicted_tcks += c->predicted_total_tcks;
+  campaigns_.emplace(c->id, c);
+  lock.unlock();
+
+  // Start + placement events, outside mu_ (tenant code runs here) but
+  // under the campaign's observer lock — the deterministic ascending
+  // (TAM, channel) placement stream the one-shot scheduler always emitted.
+  {
+    const std::lock_guard<std::mutex> obs(c->observer_mu);
+    c->mux.onCampaignStart(static_cast<int>(c->layout.entries.size()),
+                           c->layout.threads);
+    for (const ChannelUnit& unit : c->layout.units) {
+      std::vector<int> cores;
+      for (const int g : unit.group_idx) {
+        for (const std::size_t i :
+             c->layout.groups[static_cast<std::size_t>(g)].entry_idx) {
+          cores.push_back(c->layout.entries[i].core_index);
+        }
+      }
+      c->mux.onChannelPlaced(unit.tam, unit.channel, cores,
+                             unit.predicted_tcks);
+    }
+  }
+  c->t0 = std::chrono::steady_clock::now();
+
+  lock.lock();
+  if (c->layout.units.empty()) {
+    finalize(lock, *c);
+  } else {
+    for (std::size_t u = 0; u < c->layout.units.size(); ++u) {
+      queue_.emplace_back(c, u);
+    }
+    lock.unlock();
+    work_cv_.notify_all();
+  }
+  return CampaignHandle{c->id};
+}
+
+void CampaignService::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and fully drained
+    auto [c, u] = queue_.front();
+    queue_.pop_front();
+    if (c->state == CampaignState::kQueued) {
+      c->state = CampaignState::kRunning;
+    }
+    lock.unlock();
+    if (!c->cancel_requested.load(std::memory_order_relaxed)) {
+      runUnit(*c, u);
+    }
+    lock.lock();
+    c->units_done += 1;
+    if (c->units_done == c->layout.units.size()) finalize(lock, *c);
+  }
+}
+
+void CampaignService::runUnit(Campaign& c, std::size_t u) {
+  const ChannelUnit& unit = c.layout.units[u];
+  try {
+    for (const int g : unit.group_idx) {
+      if (c.cancel_requested.load(std::memory_order_relaxed)) return;
+      const TreeGroup& grp =
+          c.layout.groups[static_cast<std::size_t>(g)];
+      // Whole-tree serialization across campaigns: cores under one
+      // top-level ancestor share a wrapper chain and clock domain.
+      const std::lock_guard<std::mutex> tree(
+          tree_mu_[static_cast<std::size_t>(grp.root)]);
+      // One SessionChannel bundle per tree group, opened under the tree
+      // lock and scoped to it. The channel MUST NOT outlive the group: its
+      // TAM replica keeps the last TAM_SELECT latched, and a reused
+      // channel's TAP reset passes through Run-Test/Idle — which would fan
+      // a system-clock tick into the *previous* tree after its lock was
+      // released, racing whichever campaign holds that tree now. A fresh
+      // replica has no selection latched, so its reset ticks nothing.
+      auto ch = std::make_unique<SessionChannel>(soc_, unit.tam,
+                                                 artifacts_.get());
+      for (const std::size_t i : grp.entry_idx) {
+        if (c.cancel_requested.load(std::memory_order_relaxed)) return;
+        c.report.cores[i] =
+            testCoreResilient(soc_, ch, c.layout.entries[i], &c.mux,
+                              c.observer_mu, artifacts_.get());
+        c.cores_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!c.error) c.error = std::current_exception();
+    // Fail fast: remaining units of this campaign become no-ops. Other
+    // campaigns are untouched.
+    c.cancel_requested.store(true, std::memory_order_relaxed);
+  }
+}
+
+void CampaignService::finalize(std::unique_lock<std::mutex>& lock,
+                               Campaign& c) {
+  c.report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - c.t0)
+          .count();
+  aggregateSessionReport(c.report, c.layout, soc_);
+
+  const CampaignState final_state =
+      c.error != nullptr ? CampaignState::kFailed
+      : c.cancel_requested.load(std::memory_order_relaxed)
+          ? CampaignState::kCancelled
+          : CampaignState::kDone;
+
+  TenantUsage& use = tenants_[c.tenant];
+  use.in_flight -= 1;
+  use.predicted_tcks -= c.predicted_total_tcks;
+
+  // Chip-level TCK accounting stays continuous with the one-shot session:
+  // cores that ran did clock the chip, so cancelled campaigns credit what
+  // they spent; failed ones match the scheduler's throw-before-credit
+  // behavior.
+  if (final_state != CampaignState::kFailed) {
+    soc_.tap().creditTcks(c.report.total_tap_clocks);
+  }
+
+  // Finish event + observer detach, outside mu_ (tenant code). Detach
+  // happens BEFORE the terminal state is published below, so a tenant that
+  // saw await()/status() report a terminal state can destroy its observer
+  // immediately — no callback can still be in flight.
+  lock.unlock();
+  {
+    const std::lock_guard<std::mutex> obs(c.observer_mu);
+    if (final_state == CampaignState::kDone) {
+      c.mux.onCampaignFinish(c.report);
+    }
+    c.user_observer = nullptr;
+  }
+  lock.lock();
+  c.state = final_state;
+  done_cv_.notify_all();
+}
+
+SessionReport CampaignService::await(CampaignHandle h) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::shared_ptr<Campaign> c = findLocked(h.id);
+  done_cv_.wait(lock, [&] {
+    return c->state == CampaignState::kDone ||
+           c->state == CampaignState::kFailed ||
+           c->state == CampaignState::kCancelled;
+  });
+  if (c->state == CampaignState::kFailed) std::rethrow_exception(c->error);
+  if (c->state == CampaignState::kCancelled) throw CampaignCancelled(h.id);
+  return c->report;
+}
+
+bool CampaignService::cancel(CampaignHandle h) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<Campaign> c = findLocked(h.id);
+  if (c->state == CampaignState::kDone ||
+      c->state == CampaignState::kFailed ||
+      c->state == CampaignState::kCancelled) {
+    return false;
+  }
+  c->cancel_requested.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+CampaignStatus CampaignService::status(CampaignHandle h) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<Campaign> c = findLocked(h.id);
+  CampaignStatus s;
+  s.id = c->id;
+  s.tenant = c->tenant;
+  s.state = c->state;
+  s.cores_total = static_cast<int>(c->layout.entries.size());
+  s.cores_done = c->cores_done.load(std::memory_order_relaxed);
+  s.units_total = c->layout.units.size();
+  s.units_done = c->units_done;
+  s.predicted_total_tcks = c->predicted_total_tcks;
+  return s;
+}
+
+PlanForecast CampaignService::predict(const TestPlan& plan) {
+  const CampaignLayout layout =
+      layoutCampaign(plan, soc_, workers_, artifacts_.get());
+  return forecastFromLayout(layout, soc_, plan.placement);
+}
+
+void CampaignService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    for (const auto& [id, c] : campaigns_) {
+      if (c->state == CampaignState::kQueued ||
+          c->state == CampaignState::kRunning) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace corebist

@@ -1,0 +1,519 @@
+// CampaignService: the resident multi-tenant engine. Pins the PR's
+// acceptance properties — fingerprints byte-identical across the one-shot
+// facade, any pool size and any multi-tenant interleaving; artifact reuse
+// fingerprint-invisible; typed admission control that never blocks the
+// reactor; observer detach on completion; streamed wire frames that
+// reconstruct the report; and a multi-tenant soak that leaks neither
+// threads nor campaigns. Runs under TSan in CI (no fork in this file) and
+// under the chaos matrix (channel failpoints within the retry budget are
+// fingerprint-invisible by design).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <semaphore>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/soc.hpp"
+#include "netlist/builder.hpp"
+#include "service/artifacts.hpp"
+#include "service/report_stream.hpp"
+#include "service/service.hpp"
+
+namespace corebist {
+namespace {
+
+Netlist makeToyModule(int twist) {
+  Netlist nl("toy" + std::to_string(twist));
+  Builder b(nl);
+  const Bus x = b.input("x", 12);
+  const Bus q = b.state("q", 12);
+  b.connect(q, b.bw(GateType::kXor, x, b.shiftConst(q, 1 + twist % 3)));
+  b.output("y", q);
+  b.output("p", Bus{b.reduceXor(q)});
+  nl.validate();
+  return nl;
+}
+
+/// A 6-core SoC: cores 1 and 4 defective, the rest healthy.
+std::unique_ptr<Soc> makeSoc() {
+  auto soc = std::make_unique<Soc>("service_soc");
+  for (int c = 0; c < 6; ++c) {
+    auto core = std::make_unique<WrappedCore>("toy" + std::to_string(c));
+    core->addModule(makeToyModule(c));
+    soc->attachCore(std::move(core));
+  }
+  soc->core(1).injectDefect(0, 3, GateType::kXnor);
+  soc->core(4).injectDefect(0, 5, GateType::kNand);
+  return soc;
+}
+
+/// Mixed campaign: pass, mismatch, forced timeout, retried timeout.
+TestPlan makeMixedPlan() {
+  TestPlan plan = TestPlan{}.withPatterns(300);
+  plan.addCore(0).addCore(1);
+  plan.addCore(CorePlan{.core_index = 2,
+                        .patterns = 500,
+                        .warmup_idle = 16,
+                        .poll_budget = 3,
+                        .poll_idle = 8});
+  plan.addCore(3).addCore(4);
+  plan.addCore(CorePlan{.core_index = 5,
+                        .patterns = 500,
+                        .warmup_idle = 16,
+                        .poll_budget = 2,
+                        .poll_idle = 8,
+                        .max_retries = 2});
+  return plan;
+}
+
+TestPlan makeSubsetPlan(std::vector<int> cores) {
+  TestPlan plan = TestPlan{}.withPatterns(200);
+  for (const int c : cores) plan.addCore(c);
+  return plan;
+}
+
+/// One-shot reference fingerprint on a pristine SoC.
+std::string referenceFingerprint(const TestPlan& plan) {
+  auto soc = makeSoc();
+  TestPlan serial = plan;
+  serial.num_threads = 1;
+  return SocTestScheduler(*soc).run(serial).fingerprint();
+}
+
+int threadsOfSelf() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::stoi(line.substr(8));
+    }
+  }
+  return -1;
+}
+
+TEST(CampaignService, FingerprintMatchesOneShotAcrossPoolSizes) {
+  const std::string reference = referenceFingerprint(makeMixedPlan());
+  ASSERT_NE(reference.find("\"verdict\": \"timeout\""), std::string::npos);
+  ASSERT_NE(reference.find("\"verdict\": \"signature_mismatch\""),
+            std::string::npos);
+
+  for (const int workers : {1, 2, 8}) {
+    auto soc = makeSoc();
+    CampaignServiceConfig cfg;
+    cfg.workers = workers;
+    CampaignService service(*soc, cfg);
+    const SessionReport report =
+        service.await(service.submit(makeMixedPlan()));
+    EXPECT_EQ(report.fingerprint(), reference) << "workers=" << workers;
+  }
+}
+
+TEST(CampaignService, MultiTenantInterleavingIsFingerprintInvisible) {
+  // Three distinct plans, each with a one-shot reference; submissions from
+  // three tenants in a seeded-shuffled order, twice over, on a two-worker
+  // reactor. Every report must match its plan's reference regardless of
+  // how the reactor interleaved the campaigns.
+  const std::vector<TestPlan> plans = {
+      makeSubsetPlan({0, 1, 2}), makeSubsetPlan({3, 4, 5}), makeMixedPlan()};
+  std::vector<std::string> references;
+  references.reserve(plans.size());
+  for (const TestPlan& p : plans) references.push_back(referenceFingerprint(p));
+
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(*soc, cfg);
+
+  std::vector<std::size_t> order;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t p = 0; p < plans.size(); ++p) order.push_back(p);
+  }
+  std::mt19937 rng(0xC0B157);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<std::pair<CampaignHandle, std::size_t>> submitted;
+  for (const std::size_t p : order) {
+    SubmitOptions opts;
+    opts.tenant = "tenant" + std::to_string(p);
+    submitted.emplace_back(service.submit(plans[p], opts), p);
+  }
+  for (const auto& [handle, p] : submitted) {
+    EXPECT_EQ(service.await(handle).fingerprint(), references[p])
+        << "plan " << p;
+  }
+  // Repeated campaigns over one resident service share artifacts.
+  EXPECT_GT(service.artifactStats().hits, 0u);
+}
+
+/// Observer that parks the worker inside the first onCoreStart until the
+/// test releases it — makes "campaign X is definitely in flight" a
+/// deterministic fact instead of a race.
+class GateObserver final : public SessionObserver {
+ public:
+  std::binary_semaphore started{0};
+  std::binary_semaphore release{0};
+  void onCoreStart(int, int) override {
+    if (!first_.exchange(false)) return;
+    started.release();
+    release.acquire();
+  }
+
+ private:
+  std::atomic<bool> first_{true};
+};
+
+TEST(CampaignService, AdmissionRejectsOverQuotaWithTypedErrors) {
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.tenant_quotas["limited"] = TenantQuota{.max_in_flight = 1};
+  cfg.tenant_quotas["starved"] =
+      TenantQuota{.max_predicted_tcks = 10};  // below any real campaign
+  CampaignService service(*soc, cfg);
+
+  GateObserver gate;
+  SubmitOptions first;
+  first.tenant = "limited";
+  first.observer = &gate;
+  const CampaignHandle held = service.submit(makeSubsetPlan({0}), first);
+  gate.started.acquire();  // the campaign is running, not merely queued
+
+  SubmitOptions second;
+  second.tenant = "limited";
+  try {
+    (void)service.submit(makeSubsetPlan({3}), second);
+    FAIL() << "expected the in-flight quota to reject";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), AdmissionError::Reason::kInFlightQuota);
+    EXPECT_EQ(e.tenant(), "limited");
+    EXPECT_NE(std::string(e.what()).find("in flight"), std::string::npos);
+  }
+
+  SubmitOptions starved;
+  starved.tenant = "starved";
+  try {
+    (void)service.submit(makeSubsetPlan({3}), starved);
+    FAIL() << "expected the predicted-TCK quota to reject";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), AdmissionError::Reason::kPredictedTckQuota);
+    EXPECT_EQ(e.tenant(), "starved");
+  }
+
+  // Unquoted tenants are never throttled, and a rejection charges nothing:
+  // once the held campaign finishes, "limited" admits again.
+  const CampaignHandle other = service.submit(makeSubsetPlan({5}));
+  gate.release.release();
+  EXPECT_TRUE(service.await(held).pass());
+  (void)service.await(other);
+  SubmitOptions again;
+  again.tenant = "limited";
+  EXPECT_TRUE(service.await(service.submit(makeSubsetPlan({3}), again)).pass());
+}
+
+TEST(CampaignService, CancelSkipsQueuedCampaigns) {
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 1;  // c2 is provably queued behind c1's units
+  CampaignService service(*soc, cfg);
+
+  GateObserver gate;
+  SubmitOptions blocked;
+  blocked.observer = &gate;
+  const CampaignHandle c1 = service.submit(makeSubsetPlan({0}), blocked);
+  gate.started.acquire();
+  const CampaignHandle c2 = service.submit(makeSubsetPlan({3, 5}));
+
+  EXPECT_EQ(service.status(c2).state, CampaignState::kQueued);
+  EXPECT_TRUE(service.cancel(c2));
+
+  gate.release.release();
+  EXPECT_TRUE(service.await(c1).pass());
+  EXPECT_THROW((void)service.await(c2), CampaignCancelled);
+  const CampaignStatus s = service.status(c2);
+  EXPECT_EQ(s.state, CampaignState::kCancelled);
+  EXPECT_EQ(s.cores_done, 0);  // nothing ran
+  EXPECT_FALSE(service.cancel(c2));  // already terminal
+  EXPECT_STREQ(campaignStateName(s.state), "cancelled");
+
+  EXPECT_THROW((void)service.status(CampaignHandle{9999}), std::out_of_range);
+}
+
+class CountingObserver final : public SessionObserver {
+ public:
+  std::atomic<int> campaign_start{0};
+  std::atomic<int> campaign_finish{0};
+  std::atomic<int> channel_placed{0};
+  std::atomic<int> core_finish{0};
+  void onCampaignStart(int, int) override { ++campaign_start; }
+  void onChannelPlaced(int, int, const std::vector<int>&,
+                       std::size_t) override {
+    ++channel_placed;
+  }
+  void onCoreFinish(const CoreReport&) override { ++core_finish; }
+  void onCampaignFinish(const SessionReport&) override { ++campaign_finish; }
+};
+
+TEST(CampaignService, ObserverIsDetachedBeforeAwaitReturns) {
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(*soc, cfg);
+
+  auto observer = std::make_unique<CountingObserver>();
+  SubmitOptions opts;
+  opts.observer = observer.get();
+  const CampaignHandle h = service.submit(makeMixedPlan(), opts);
+  const SessionReport report = service.await(h);
+
+  // The full event stream arrived exactly once...
+  EXPECT_EQ(observer->campaign_start.load(), 1);
+  EXPECT_EQ(observer->campaign_finish.load(), 1);
+  EXPECT_EQ(observer->core_finish.load(), 6);
+  EXPECT_GT(observer->channel_placed.load(), 0);
+  EXPECT_EQ(report.cores.size(), 6u);
+  EXPECT_EQ(service.status(h).state, CampaignState::kDone);
+
+  // ...and the registration is detached: destroying the observer now is
+  // safe by contract (finalize cleared it before publishing the terminal
+  // state await() observed). A dangling callback would fire into freed
+  // memory here — ASan/TSan in CI would catch it.
+  observer.reset();
+  (void)service.await(service.submit(makeSubsetPlan({0})));
+}
+
+TEST(CampaignService, ArtifactReuseIsFingerprintInvisible) {
+  // Coverage probes exercise every cached product: lint, fault universe,
+  // golden signature and coverage value.
+  TestPlan plan = TestPlan{}.withPatterns(128);
+  plan.coverage_target = 5.0;
+
+  auto ref_soc = makeSoc();
+  TestPlan serial = plan;
+  serial.num_threads = 1;
+  const std::string reference =
+      SocTestScheduler(*ref_soc).run(serial).fingerprint();
+
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(*soc, cfg);
+
+  const SessionReport cold = service.await(service.submit(plan));
+  const ArtifactStats after_cold = service.artifactStats();
+  const SessionReport warm = service.await(service.submit(plan));
+  const ArtifactStats after_warm = service.artifactStats();
+
+  EXPECT_EQ(cold.fingerprint(), reference);
+  EXPECT_EQ(warm.fingerprint(), reference);
+  // The cold run computed (misses); the warm run reused (hits grew, misses
+  // did not).
+  EXPECT_GT(after_cold.misses, 0u);
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+  EXPECT_GT(after_warm.hitRate(), 0.0);
+
+  // The memoized golden equals the direct good-machine simulation.
+  EXPECT_EQ(service.artifacts()->goldenSignature(soc->core(0), 0, 128),
+            soc->core(0).goldenSignature(0, 128));
+}
+
+TEST(CampaignService, PredictRacesRunSafely) {
+  // predict() resolves and places against live SoC topology while workers
+  // drive cores through replica channels. The forecast must be stable and
+  // the interleaving TSan-clean (this test runs under the CI TSan job).
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(*soc, cfg);
+
+  const PlanForecast baseline = service.predict(makeMixedPlan());
+  ASSERT_GT(baseline.predicted_total_tcks, 0u);
+
+  std::vector<CampaignHandle> handles;
+  for (int i = 0; i < 3; ++i) handles.push_back(service.submit(makeMixedPlan()));
+  std::atomic<bool> mismatch{false};
+  std::thread predictor([&] {
+    for (int i = 0; i < 20; ++i) {
+      const PlanForecast f = service.predict(makeMixedPlan());
+      if (f.predicted_total_tcks != baseline.predicted_total_tcks ||
+          f.predicted_makespan_tcks != baseline.predicted_makespan_tcks) {
+        mismatch.store(true);
+      }
+    }
+  });
+  for (const CampaignHandle h : handles) (void)service.await(h);
+  predictor.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(CampaignService, StreamedFramesReconstructTheReport) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+
+  auto soc = makeSoc();
+  CampaignServiceConfig cfg;
+  cfg.workers = 2;
+  CampaignService service(*soc, cfg);
+
+  SubmitOptions opts;
+  opts.stream_fd = fds[1];
+  const CampaignHandle h = service.submit(makeMixedPlan(), opts);
+  const SessionReport report = service.await(h);
+  close(fds[1]);  // campaign terminal => no more frames
+
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (readStreamEvent(fds[0], ev)) events.push_back(ev);
+  close(fds[0]);
+
+  ASSERT_FALSE(events.empty());
+  for (const StreamEvent& e : events) EXPECT_EQ(e.campaign_id, h.id);
+  EXPECT_EQ(events.front().kind, StreamEventKind::kCampaignStart);
+  EXPECT_EQ(events.back().kind, StreamEventKind::kCampaignFinish);
+
+  int core_finish = 0;
+  int placed = 0;
+  for (const StreamEvent& e : events) {
+    if (e.kind == StreamEventKind::kCoreFinish) ++core_finish;
+    if (e.kind == StreamEventKind::kChannelPlaced) ++placed;
+  }
+  EXPECT_EQ(core_finish, 6);
+  EXPECT_GT(placed, 0);
+
+  // The incremental core frames carry the exact per-core JSON of the final
+  // report, and the finish frame is the whole report verbatim.
+  std::vector<std::string> expected_cores;
+  for (const CoreReport& c : report.cores) {
+    expected_cores.push_back(coreReportJson(c, true));
+  }
+  for (const StreamEvent& e : events) {
+    if (e.kind != StreamEventKind::kCoreFinish) continue;
+    EXPECT_NE(std::find(expected_cores.begin(), expected_cores.end(), e.json),
+              expected_cores.end())
+        << e.json;
+  }
+  EXPECT_EQ(events.back().json, report.toJson());
+  EXPECT_STREQ(streamEventKindName(events.back().kind), "campaign_finish");
+}
+
+TEST(CampaignService, EmptyCampaignCompletesImmediately) {
+  Soc soc("empty_soc");
+  CampaignService service(soc);
+  const CampaignHandle h = service.submit(TestPlan{});
+  const SessionReport report = service.await(h);
+  EXPECT_TRUE(report.cores.empty());
+  EXPECT_EQ(service.status(h).state, CampaignState::kDone);
+}
+
+TEST(CampaignService, ServiceSoakLeaksNothing) {
+  // N tenants x M campaigns over a small reactor; every fingerprint equals
+  // its reference and the pool's threads are all joined at scope exit.
+  // The CI soak job runs this with COREBIST_FAILPOINTS channel chaos armed
+  // (within the retry budget) — recovery is fingerprint-invisible.
+  const std::vector<TestPlan> plans = {
+      makeSubsetPlan({0, 1}), makeSubsetPlan({2, 3}), makeMixedPlan()};
+  std::vector<std::string> references;
+  references.reserve(plans.size());
+  for (const TestPlan& p : plans) references.push_back(referenceFingerprint(p));
+
+  const int threads_before = threadsOfSelf();
+  auto soc = makeSoc();
+  {
+    CampaignServiceConfig cfg;
+    cfg.workers = 2;
+    CampaignService service(*soc, cfg);
+    std::vector<std::pair<CampaignHandle, std::size_t>> submitted;
+    for (int round = 0; round < 4; ++round) {
+      for (std::size_t p = 0; p < plans.size(); ++p) {
+        SubmitOptions opts;
+        opts.tenant = "tenant" + std::to_string(p);
+        submitted.emplace_back(service.submit(plans[p], opts), p);
+      }
+    }
+    service.drain();
+    for (const auto& [handle, p] : submitted) {
+      EXPECT_EQ(service.await(handle).fingerprint(), references[p])
+          << "plan " << p;
+      EXPECT_EQ(service.status(handle).state, CampaignState::kDone);
+    }
+    EXPECT_GT(service.artifactStats().hitRate(), 0.0);
+  }
+  // The reactor joined its pool on destruction: no leaked threads.
+  EXPECT_EQ(threadsOfSelf(), threads_before);
+}
+
+TEST(CampaignService, DestructorCancelsUnfinishedCampaigns) {
+  auto soc = makeSoc();
+  GateObserver gate;
+  auto service = std::make_unique<CampaignService>(
+      *soc, CampaignServiceConfig{.workers = 1});
+  SubmitOptions blocked;
+  blocked.observer = &gate;
+  (void)service->submit(makeSubsetPlan({0}), blocked);
+  gate.started.acquire();
+  const CampaignHandle queued = service->submit(makeSubsetPlan({3}));
+  EXPECT_EQ(service->status(queued).state, CampaignState::kQueued);
+  gate.release.release();
+  service.reset();  // dtor: cancel queued, drain, join — must not hang
+}
+
+TEST(StreamObserver, ConcurrentLinesNeverShear) {
+  // Four threads hammer one labeled StreamObserver; every emitted line must
+  // come out whole — single-write emission under the member mutex — and
+  // carry the campaign label prefix.
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  StreamObserver observer(tmp, "svc1");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&observer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        observer.onChannelPlaced(t, i, {1, 2, 3}, 1234);
+        CoreReport r;
+        r.core_index = t * 1000 + i;
+        r.core_name = "core";
+        observer.onCoreFinish(r);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  std::rewind(tmp);
+  std::ostringstream content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, tmp)) > 0) {
+    content.write(buf, static_cast<std::streamsize>(n));
+  }
+  std::fclose(tmp);
+
+  std::istringstream lines(content.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_EQ(line.rfind("[svc1] [", 0), 0u) << "sheared line: " << line;
+    // A sheared write would splice one line into another: every line has
+    // exactly one label prefix.
+    EXPECT_EQ(line.find("[svc1] ", 1), std::string::npos) << line;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread * 2);
+}
+
+}  // namespace
+}  // namespace corebist
